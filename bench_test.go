@@ -1,0 +1,415 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation as testing.B benchmarks, plus ablations for the design
+// choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-4 benchmarks report the qualifying-row count as a sanity metric;
+// provenance benchmarks report graph sizes (nodes+edges).
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/notebooks"
+	"repro/internal/onnx"
+	"repro/internal/opt"
+	"repro/internal/provenance"
+	"repro/internal/pyprov"
+	"repro/internal/workload"
+)
+
+// fig4Envs caches one environment per dataset size across benchmarks.
+var (
+	fig4Mu   sync.Mutex
+	fig4Envs = map[int]*experiments.Fig4Env{}
+)
+
+const fig4Trees = 100
+
+func fig4Env(b *testing.B, rows int) *experiments.Fig4Env {
+	b.Helper()
+	fig4Mu.Lock()
+	defer fig4Mu.Unlock()
+	env, ok := fig4Envs[rows]
+	if !ok {
+		var err error
+		env, err = experiments.NewFig4Env(rows, fig4Trees)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig4Envs[rows] = env
+	}
+	return env
+}
+
+var fig4Sizes = []int{1000, 10000, 100000, 1000000}
+
+// BenchmarkFigure4InferenceTime is the Figure-4 left panel: total inference
+// time per configuration and dataset size.
+func BenchmarkFigure4InferenceTime(b *testing.B) {
+	configs := []struct {
+		name string
+		run  func(*experiments.Fig4Env) (int64, error)
+	}{
+		{"sklearn", func(e *experiments.Fig4Env) (int64, error) { return e.RunSklearn() }},
+		{"ORT", func(e *experiments.Fig4Env) (int64, error) { return e.RunORT() }},
+		{"SONNX", func(e *experiments.Fig4Env) (int64, error) { return e.RunInDB(opt.LevelParallel) }},
+		{"SONNXext", func(e *experiments.Fig4Env) (int64, error) { return e.RunInDB(opt.LevelFull) }},
+	}
+	for _, cfg := range configs {
+		for _, rows := range fig4Sizes {
+			b.Run(fmt.Sprintf("%s/rows=%d", cfg.name, rows), func(b *testing.B) {
+				env := fig4Env(b, rows)
+				var count int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n, err := cfg.run(env)
+					if err != nil {
+						b.Fatal(err)
+					}
+					count = n
+				}
+				b.ReportMetric(float64(count), "qualifying-rows")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4Speedup is the right panel: the same query at 100K rows
+// under increasing optimization levels (UDF baseline -> inlined -> full
+// cross-optimization).
+func BenchmarkFigure4Speedup(b *testing.B) {
+	levels := []struct {
+		name  string
+		level opt.Level
+	}{
+		{"UDFBaseline", opt.LevelUDF},
+		{"InlineSQL", opt.LevelParallel},
+		{"Optimized", opt.LevelFull},
+	}
+	for _, l := range levels {
+		b.Run(l.name, func(b *testing.B) {
+			env := fig4Env(b, 100000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.RunInDB(l.level); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProvenanceCapture is Table 1: eager capture latency and graph
+// size over the TPC-H and TPC-C workloads.
+func BenchmarkProvenanceCapture(b *testing.B) {
+	for _, w := range []struct {
+		name    string
+		queries []string
+	}{
+		{"TPCH", workload.TPCHWorkload(2208, 1)},
+		{"TPCC", workload.TPCCWorkload(2200, 2)},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			var nodes, edges int
+			for i := 0; i < b.N; i++ {
+				catalog := provenance.NewCatalog()
+				tracker := provenance.NewSQLTracker(catalog)
+				for _, q := range w.queries {
+					if _, err := tracker.CaptureQuery(q, "bench"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				nodes, edges = catalog.Size()
+			}
+			b.ReportMetric(float64(nodes+edges), "graph-size")
+			b.ReportMetric(float64(len(w.queries)), "queries")
+		})
+	}
+}
+
+// BenchmarkProvenanceEagerVsLazy is the capture-mode ablation.
+func BenchmarkProvenanceEagerVsLazy(b *testing.B) {
+	queries := workload.TPCHWorkload(500, 3)
+	log := make([]engine.LogEntry, len(queries))
+	for i, q := range queries {
+		log[i] = engine.LogEntry{Seq: int64(i + 1), Text: q, User: "u"}
+	}
+	b.Run("Eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tracker := provenance.NewSQLTracker(provenance.NewCatalog())
+			for _, q := range queries {
+				if _, err := tracker.CaptureQuery(q, "u"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tracker := provenance.NewSQLTracker(provenance.NewCatalog())
+			if captured, _ := tracker.CaptureLog(log); captured != len(queries) {
+				b.Fatal("lazy capture missed queries")
+			}
+		}
+	})
+}
+
+// BenchmarkProvenanceCompression is the graph-compression ablation.
+func BenchmarkProvenanceCompression(b *testing.B) {
+	tracker := provenance.NewSQLTracker(provenance.NewCatalog())
+	for _, q := range workload.TPCHWorkload(1000, 4) {
+		if _, err := tracker.CaptureQuery(q, "u"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var after int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compressed, _ := provenance.Compress(tracker.Catalog())
+		n, e := compressed.Size()
+		after = n + e
+	}
+	nb, eb := tracker.Catalog().Size()
+	b.ReportMetric(float64(nb+eb), "size-before")
+	b.ReportMetric(float64(after), "size-after")
+}
+
+// BenchmarkPyProvCoverage is Table 2: analyzer throughput over the two
+// corpora, reporting the coverage percentages as metrics.
+func BenchmarkPyProvCoverage(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		corpus []pyprov.Script
+	}{
+		{"Kaggle", pyprov.KaggleCorpus()},
+		{"Microsoft", pyprov.MicrosoftCorpus()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			a := pyprov.NewAnalyzer()
+			var rep pyprov.CoverageReport
+			for i := 0; i < b.N; i++ {
+				rep = pyprov.EvaluateCoverage(a, c.corpus)
+			}
+			b.ReportMetric(rep.ModelPct(), "models-pct")
+			b.ReportMetric(rep.DatasetPct(), "datasets-pct")
+		})
+	}
+}
+
+// BenchmarkFigure2NotebookCoverage regenerates the notebook study,
+// reporting the top-10 coverage of each corpus.
+func BenchmarkFigure2NotebookCoverage(b *testing.B) {
+	for _, gen := range []struct {
+		name string
+		make func() *notebooks.Corpus
+	}{
+		{"2017", notebooks.Corpus2017},
+		{"2019", notebooks.Corpus2019},
+	} {
+		b.Run(gen.name, func(b *testing.B) {
+			var top10 float64
+			for i := 0; i < b.N; i++ {
+				c := gen.make()
+				top10 = c.Coverage([]int{10})[0]
+			}
+			b.ReportMetric(top10*100, "top10-coverage-pct")
+		})
+	}
+}
+
+// BenchmarkAblationRowVsVectorized compares in-process row-at-a-time vs
+// vectorized prediction. In compiled Go the two are nearly equal — which
+// localizes the UDF-inlining win of Figure 4 (right) in the per-call
+// marshalling, not the arithmetic (see EXPERIMENTS.md).
+func BenchmarkAblationRowVsVectorized(b *testing.B) {
+	env := fig4Env(b, 10000)
+	b.Run("RowAtATime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Pipe.Predict(env.Frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Vectorized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Pipe.PredictBatch(env.Frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelism sweeps the engine's worker count over the
+// in-DB scoring query (on a single-core host the sweep is flat — that is
+// the finding, not a bug).
+func BenchmarkAblationParallelism(b *testing.B) {
+	env := fig4Env(b, 100000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := env.DB.ExecAs(
+					`SELECT count(*) AS n FROM customers WHERE PREDICT(churn, age, income, tenure, region, notes) >= 0.5`,
+					"bench", engine.ExecOptions{Level: opt.LevelParallel, Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruning isolates model-input pruning + compression: the
+// same vectorized scoring with and without the cross-optimizer's model
+// rewrites (no threshold in the query, so push-up does not apply). On this
+// dense GBM the passes are neutral; they exist for sparse models and must
+// at minimum never regress correctness or performance materially.
+func BenchmarkAblationPruning(b *testing.B) {
+	env := fig4Env(b, 100000)
+	const q = `SELECT avg(PREDICT(churn, age, income, tenure, region, notes)) AS s FROM customers`
+	for _, cfg := range []struct {
+		name  string
+		level opt.Level
+	}{
+		{"Off", opt.LevelParallel},
+		{"On", opt.LevelFull},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.DB.ExecAs(q, "bench", engine.ExecOptions{Level: cfg.level}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompression measures stats-driven tree compression in
+// isolation at the graph level: session throughput before and after
+// CompressWithStats.
+func BenchmarkAblationCompression(b *testing.B) {
+	env := fig4Env(b, 10000)
+	batch, err := onnx.BatchFromFrame(env.Graph, env.Frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, g *onnx.Graph, batch *onnx.Batch) {
+		sess, err := onnx.NewSession(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]float64, batch.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.RunInto(batch, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Uncompressed", func(b *testing.B) { run(b, env.Graph, batch) })
+	b.Run("Compressed", func(b *testing.B) {
+		g := env.Graph.Clone()
+		tab, err := env.DB.Table("customers")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := onnx.CompressWithStats(g, tab.Stats())
+		b.ReportMetric(float64(res.NodesBefore), "tree-nodes-before")
+		b.ReportMetric(float64(res.NodesAfter), "tree-nodes-after")
+		cb, err := onnx.BatchFromFrame(g, env.Frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, g, cb)
+	})
+}
+
+// BenchmarkAblationWireFormat compares the remote-scoring wire formats
+// (binary vs JSON/REST) that separate SONNX from the standalone paths.
+func BenchmarkAblationWireFormat(b *testing.B) {
+	env := fig4Env(b, 10000)
+	batch, err := onnx.BatchFromFrame(env.Graph, env.Frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Binary", func(b *testing.B) {
+		rs, err := onnx.NewRemoteScorer(env.Graph, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.Score(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("JSON", func(b *testing.B) {
+		rs, err := onnx.NewRemoteScorerJSON(env.Graph, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.Score(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTPCHExecution measures the engine end to end on the executable
+// TPC-H template subset over generated data (scale 1: 1,500 orders).
+func BenchmarkTPCHExecution(b *testing.B) {
+	db := engine.NewDB()
+	if err := workload.LoadTPCH(db, 1); err != nil {
+		b.Fatal(err)
+	}
+	p := workload.NewTPCHParams(1)
+	queries := map[int]string{}
+	for _, q := range workload.ExecutableTPCHQueries {
+		queries[q] = workload.TPCHQuery(q, p)
+	}
+	for _, q := range workload.ExecutableTPCHQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(queries[q]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotPersistence measures durable snapshot save/load of the
+// Figure-4 table (the durability requirement of §4.2).
+func BenchmarkSnapshotPersistence(b *testing.B) {
+	env := fig4Env(b, 100000)
+	b.Run("Save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.DB.SnapshotBytes(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	blob, err := env.DB.SnapshotBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Load", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			db := engine.NewDB()
+			if err := db.LoadSnapshot(bytesReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func bytesReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }

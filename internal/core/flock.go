@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/governance"
+	"repro/internal/ml"
+	"repro/internal/onnx"
+	"repro/internal/opt"
+	"repro/internal/policy"
+	"repro/internal/provenance"
+	"repro/internal/sql"
+)
+
+// Flock is the reference architecture facade (Figure 1): a database engine
+// with in-DBMS inference, a versioned model registry, RBAC + audit
+// governance, a provenance catalog with eager SQL capture, and a policy
+// engine bridging predictions to decisions. Every statement that flows
+// through Exec is access-checked, captured, and audited.
+type Flock struct {
+	DB       *engine.DB
+	Models   *ModelRegistry
+	Access   *governance.AccessController
+	Audit    *governance.AuditLog
+	Catalog  *provenance.Catalog
+	Prov     *provenance.SQLTracker
+	Policies *policy.Engine
+}
+
+// New assembles a Flock instance. The built-in "admin" role holds every
+// permission; assign it to bootstrap users.
+func New() (*Flock, error) {
+	return newFromDB(engine.NewDB())
+}
+
+// Open restores a Flock from a durable engine snapshot (see
+// engine.DB.SaveSnapshot): tables, query log and every deployed model
+// version come back; governance and provenance state start fresh (the
+// audit log is tamper-evident precisely because it is append-only per
+// process, and the provenance catalog can be rebuilt lazily from the
+// restored query log via SQLTracker.CaptureLog).
+func Open(r io.Reader) (*Flock, error) {
+	db := engine.NewDB()
+	if err := db.LoadSnapshot(r); err != nil {
+		return nil, err
+	}
+	return newFromDB(db)
+}
+
+func newFromDB(db *engine.DB) (*Flock, error) {
+	reg, err := NewModelRegistry(db)
+	if err != nil {
+		return nil, err
+	}
+	db.SetModelProvider(reg)
+	catalog := provenance.NewCatalog()
+	f := &Flock{
+		DB:       db,
+		Models:   reg,
+		Access:   governance.NewAccessController(),
+		Audit:    governance.NewAuditLog(),
+		Catalog:  catalog,
+		Prov:     provenance.NewSQLTracker(catalog),
+		Policies: policy.NewEngine(),
+	}
+	for _, act := range []governance.Action{
+		governance.ActSelect, governance.ActInsert, governance.ActUpdate,
+		governance.ActDelete, governance.ActScore, governance.ActDeploy,
+		governance.ActCreate,
+	} {
+		f.Access.Grant("admin", act, governance.AllObjects)
+	}
+	return f, nil
+}
+
+// Exec runs a statement on behalf of user at the default optimization
+// level, enforcing access control, capturing provenance, and auditing.
+func (f *Flock) Exec(user, query string) (*engine.Result, error) {
+	return f.ExecLevel(user, query, f.DB.DefaultLevel)
+}
+
+// ExecLevel is Exec with an explicit optimization level.
+func (f *Flock) ExecLevel(user, query string, level opt.Level) (*engine.Result, error) {
+	stmts, err := sql.Parse(query)
+	if err != nil {
+		f.Audit.Record(user, "parse", "", truncate(query), false)
+		return nil, err
+	}
+	var last *engine.Result
+	for _, stmt := range stmts {
+		res, err := f.execOne(user, stmt, level)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+func (f *Flock) execOne(user string, stmt sql.Statement, level opt.Level) (*engine.Result, error) {
+	text := sql.FormatStatement(stmt)
+	acc := sql.Analyze(stmt)
+
+	// Access control: reads, writes and model scoring are all checked
+	// before anything executes.
+	if err := f.checkAccess(user, stmt, acc); err != nil {
+		f.Audit.Record(user, "denied", firstObject(acc), truncate(text), false)
+		return nil, err
+	}
+
+	// Eager provenance capture.
+	if _, err := f.Prov.CaptureQuery(text, user); err != nil {
+		return nil, err
+	}
+
+	res, err := f.DB.ExecAs(text, user, engine.ExecOptions{Level: level})
+	f.Audit.Record(user, stmtAction(stmt), firstObject(acc), truncate(text), err == nil)
+	return res, err
+}
+
+func (f *Flock) checkAccess(user string, stmt sql.Statement, acc sql.Access) error {
+	for _, m := range acc.Models {
+		if err := f.Access.Check(user, governance.ActScore, governance.ModelObject(m)); err != nil {
+			return err
+		}
+	}
+	switch stmt.(type) {
+	case *sql.SelectStmt:
+		for _, t := range acc.ReadTables {
+			err := f.Access.Check(user, governance.ActSelect, governance.TableObject(t))
+			if err == nil {
+				continue
+			}
+			// Fine-grained fallback: the read is allowed when every column
+			// the statement references on this table is individually
+			// granted (column-level access control). A table read with no
+			// resolvable column references still requires the table grant.
+			cols := columnsForTable(acc, t)
+			if len(cols) == 0 {
+				return err
+			}
+			for _, c := range cols {
+				if cerr := f.Access.Check(user, governance.ActSelect, governance.ColumnObject(t, c)); cerr != nil {
+					return err // report the table-level denial
+				}
+			}
+		}
+	case *sql.InsertStmt:
+		for _, t := range acc.WriteTables {
+			if err := f.Access.Check(user, governance.ActInsert, governance.TableObject(t)); err != nil {
+				return err
+			}
+		}
+	case *sql.UpdateStmt:
+		for _, t := range acc.WriteTables {
+			if err := f.Access.Check(user, governance.ActUpdate, governance.TableObject(t)); err != nil {
+				return err
+			}
+		}
+	case *sql.DeleteStmt:
+		for _, t := range acc.WriteTables {
+			if err := f.Access.Check(user, governance.ActDelete, governance.TableObject(t)); err != nil {
+				return err
+			}
+		}
+	case *sql.CreateTableStmt:
+		for _, t := range acc.WriteTables {
+			if err := f.Access.Check(user, governance.ActCreate, governance.TableObject(t)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TrainingInfo documents how a deployed model was produced, feeding the
+// provenance catalog (model as derived data: code + data lineage).
+type TrainingInfo struct {
+	Script      string
+	Tables      []string
+	Hyperparams map[string]string
+	Metrics     map[string]string
+}
+
+// DeployPipeline exports a trained pipeline, registers it as a new model
+// version, promotes it to production, and records full training provenance.
+func (f *Flock) DeployPipeline(user, name string, pipe *ml.Pipeline, info TrainingInfo) (int, error) {
+	if err := f.Access.Check(user, governance.ActDeploy, governance.ModelObject(name)); err != nil {
+		f.Audit.Record(user, "denied", string(governance.ModelObject(name)), "deploy", false)
+		return 0, err
+	}
+	g, err := onnx.Export(pipe)
+	if err != nil {
+		return 0, err
+	}
+	return f.deployGraph(user, name, g, info)
+}
+
+// DeployGraph registers an already-exported graph (e.g. one trained in the
+// cloud and shipped as a blob — "train in the cloud, score in the DBMS").
+func (f *Flock) DeployGraph(user, name string, g *onnx.Graph, info TrainingInfo) (int, error) {
+	if err := f.Access.Check(user, governance.ActDeploy, governance.ModelObject(name)); err != nil {
+		f.Audit.Record(user, "denied", string(governance.ModelObject(name)), "deploy", false)
+		return 0, err
+	}
+	return f.deployGraph(user, name, g, info)
+}
+
+func (f *Flock) deployGraph(user, name string, g *onnx.Graph, info TrainingInfo) (int, error) {
+	version, err := f.Models.Create(name, user, g)
+	if err != nil {
+		f.Audit.Record(user, "deploy", string(governance.ModelObject(name)), "create failed", false)
+		return 0, err
+	}
+	if err := f.Models.Promote(name, version, StageProduction); err != nil {
+		return 0, err
+	}
+	f.Prov.RecordTraining(name, version, info.Script, info.Tables, info.Hyperparams, info.Metrics)
+	f.Audit.Record(user, "deploy", string(governance.ModelObject(name)),
+		fmt.Sprintf("version %d promoted to production", version), true)
+	return version, nil
+}
+
+// Decide scores one row through the named model via SQL and routes the
+// prediction through the policy engine, returning the governed outcome —
+// the full model-to-decision path of §4.1 in one call. The query must
+// return a single float column.
+func (f *Flock) Decide(user, model, query, entity string, attrs map[string]float64) (policy.Outcome, error) {
+	res, err := f.Exec(user, query)
+	if err != nil {
+		return policy.Outcome{}, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return policy.Outcome{}, fmt.Errorf("core: Decide query must return exactly one value, got %dx%d",
+			len(res.Rows), len(res.Columns))
+	}
+	score, ok := res.Rows[0][0].(float64)
+	if !ok {
+		return policy.Outcome{}, fmt.Errorf("core: Decide query must return a float score, got %T", res.Rows[0][0])
+	}
+	out := f.Policies.Apply(policy.Decision{Model: model, Entity: entity, Score: score, Attrs: attrs})
+	f.Audit.Record(user, "decide", string(governance.ModelObject(model)),
+		fmt.Sprintf("entity=%s score=%.4f final=%.4f overridden=%t", entity, score, out.Final, out.Overridden), true)
+	return out, nil
+}
+
+// columnsForTable collects the columns a statement references on one
+// table: qualifier-matched columns plus bare references when the table is
+// the statement's only read table (so attribution is unambiguous). SELECT *
+// yields no resolvable columns, forcing the table-level grant.
+func columnsForTable(acc sql.Access, table string) []string {
+	var out []string
+	out = append(out, acc.Columns[table]...)
+	if len(acc.ReadTables) == 1 {
+		out = append(out, acc.Columns[""]...)
+	}
+	return out
+}
+
+func stmtAction(s sql.Statement) string {
+	switch s.(type) {
+	case *sql.SelectStmt:
+		return "select"
+	case *sql.InsertStmt:
+		return "insert"
+	case *sql.UpdateStmt:
+		return "update"
+	case *sql.DeleteStmt:
+		return "delete"
+	case *sql.CreateTableStmt:
+		return "create"
+	}
+	return "exec"
+}
+
+func firstObject(acc sql.Access) string {
+	if len(acc.WriteTables) > 0 {
+		return string(governance.TableObject(acc.WriteTables[0]))
+	}
+	if len(acc.ReadTables) > 0 {
+		return string(governance.TableObject(acc.ReadTables[0]))
+	}
+	if len(acc.Models) > 0 {
+		return string(governance.ModelObject(acc.Models[0]))
+	}
+	return ""
+}
+
+func truncate(s string) string {
+	if len(s) > 200 {
+		return s[:200] + "..."
+	}
+	return s
+}

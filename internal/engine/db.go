@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/onnx"
+	"repro/internal/opt"
+	"repro/internal/sql"
+)
+
+// LogEntry is one statement recorded in the query log, the input to lazy
+// provenance capture.
+type LogEntry struct {
+	Seq  int64
+	Text string
+	User string
+	At   time.Time
+}
+
+// DB is the in-process database: named tables, a query log, and an optional
+// model provider enabling the PREDICT extension.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	log    []LogEntry
+	logSeq int64
+
+	models opt.ModelProvider
+
+	// udfScorer builds the scorer used by UDF-mode PREDICT; defaults to an
+	// in-memory JSON remote scorer and can be replaced (e.g. with a real
+	// HTTP scoring client) via SetUDFScorerFactory.
+	udfScorer func(g *onnx.Graph) (onnx.Scorer, error)
+
+	// DefaultLevel is the optimization level used by Exec; defaults to
+	// opt.LevelFull.
+	DefaultLevel opt.Level
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}, DefaultLevel: opt.LevelFull}
+}
+
+// SetModelProvider wires in the model registry that resolves PREDICT names.
+func (db *DB) SetModelProvider(p opt.ModelProvider) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.models = p
+}
+
+// CreateTable registers a new empty table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[name] = t
+	return t, nil
+}
+
+// CreateTableFromColumns registers a table and bulk-loads it in one step.
+func (db *DB) CreateTableFromColumns(name string, names []string, cols []Column) (*Table, error) {
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("engine: %d names for %d columns", len(names), len(cols))
+	}
+	schema := make(Schema, len(names))
+	for i := range names {
+		schema[i] = ColMeta{Name: names[i], Type: cols[i].Type}
+	}
+	t, err := db.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.ReplaceColumns(cols); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists the tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TableColumns implements opt.CatalogInfo.
+func (db *DB) TableColumns(table string) ([]string, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema().Names(), nil
+}
+
+// TableStats implements opt.CatalogInfo.
+func (db *DB) TableStats(table string) onnx.Stats {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil
+	}
+	return t.Stats()
+}
+
+// QueryLog returns a copy of the query log (for lazy provenance capture).
+func (db *DB) QueryLog() []LogEntry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]LogEntry(nil), db.log...)
+}
+
+// appendLog records an executed statement.
+func (db *DB) appendLog(text, user string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.logSeq++
+	db.log = append(db.log, LogEntry{Seq: db.logSeq, Text: text, User: user, At: time.Now()})
+}
+
+// sessionFor resolves a model name to a planned scoring session (row-mode
+// PREDICT path).
+func (db *DB) sessionFor(model string) (*onnx.Session, error) {
+	db.mu.RLock()
+	provider := db.models
+	db.mu.RUnlock()
+	if provider == nil {
+		return nil, fmt.Errorf("engine: no model provider configured")
+	}
+	g, err := provider.GraphFor(model)
+	if err != nil {
+		return nil, err
+	}
+	return onnx.NewSession(g)
+}
+
+// SetUDFScorerFactory replaces the scorer used by UDF-mode PREDICT (e.g.
+// with a client for a real HTTP scoring service).
+func (db *DB) SetUDFScorerFactory(f func(g *onnx.Graph) (onnx.Scorer, error)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.udfScorer = f
+}
+
+// remoteFor resolves a model name to the UDF-mode scorer: by default a
+// one-row-per-call JSON remote scorer (each call pays REST-style
+// marshalling), or whatever SetUDFScorerFactory installed.
+func (db *DB) remoteFor(model string) (onnx.Scorer, error) {
+	db.mu.RLock()
+	provider := db.models
+	factory := db.udfScorer
+	db.mu.RUnlock()
+	if provider == nil {
+		return nil, fmt.Errorf("engine: no model provider configured")
+	}
+	g, err := provider.GraphFor(model)
+	if err != nil {
+		return nil, err
+	}
+	if factory != nil {
+		return factory(g)
+	}
+	return onnx.NewRemoteScorerJSON(g, 1)
+}
+
+// Exec parses and executes a statement string at the default level,
+// recording it in the query log.
+func (db *DB) Exec(query string) (*Result, error) {
+	return db.ExecAs(query, "system", ExecOptions{Level: db.DefaultLevel})
+}
+
+// ExecLevel executes with an explicit optimization level.
+func (db *DB) ExecLevel(query string, level opt.Level) (*Result, error) {
+	return db.ExecAs(query, "system", ExecOptions{Level: level})
+}
+
+// ExecAs executes a statement on behalf of a user with explicit options.
+func (db *DB) ExecAs(query, user string, o ExecOptions) (*Result, error) {
+	stmts, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("engine: empty statement")
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		db.appendLog(sql.FormatStatement(stmt), user)
+		res, err := db.ExecStmt(stmt, o)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// ExecStmt executes a parsed statement (without logging).
+func (db *DB) ExecStmt(stmt sql.Statement, o ExecOptions) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		rs, _, err := db.ExecSelect(s, o)
+		if err != nil {
+			return nil, err
+		}
+		return resultFromRowSet(rs), nil
+	case *sql.CreateTableStmt:
+		return db.execCreate(s)
+	case *sql.InsertStmt:
+		return db.execInsert(s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(s, o)
+	case *sql.DeleteStmt:
+		return db.execDelete(s, o)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// ExecSelect plans and executes a SELECT, returning the rowset and the
+// optimizer report (for EXPLAIN-style inspection and ablation benches).
+func (db *DB) ExecSelect(s *sql.SelectStmt, o ExecOptions) (*RowSet, *opt.Report, error) {
+	db.mu.RLock()
+	provider := db.models
+	db.mu.RUnlock()
+	if provider == nil {
+		provider = noModels{}
+	}
+
+	ex := &executor{db: db, o: o, env: &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}}
+
+	if o.Level == opt.LevelUDF {
+		// UDF mode: no ML-aware planning at all; PREDICT stays a scalar
+		// call inside expressions.
+		plan, err := opt.PlanSelect(s, provider, db, opt.LevelUDF)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs, err := ex.exec(plan.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rs, &plan.Report, nil
+	}
+
+	plan, err := opt.PlanSelect(s, provider, db, o.Level)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := ex.exec(plan.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, &plan.Report, nil
+}
+
+// noModels is the provider used when none is configured: every lookup fails.
+type noModels struct{}
+
+func (noModels) GraphFor(name string) (*onnx.Graph, error) {
+	return nil, fmt.Errorf("engine: no model provider configured (model %q)", name)
+}

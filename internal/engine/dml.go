@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+)
+
+// DML execution. Writes are copy-on-write at column granularity so that
+// concurrent readers holding a snapshot never observe partial updates, and
+// every write bumps the table version (feeding provenance's temporal model).
+
+func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
+	schema := make(Schema, len(s.Columns))
+	for i, c := range s.Columns {
+		t, err := ParseColType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = ColMeta{Name: c.Name, Type: t}
+	}
+	if _, err := db.CreateTable(s.Table, schema); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(s *sql.InsertStmt) (*Result, error) {
+	return db.execInsertLevel(s, ExecOptions{Level: db.DefaultLevel})
+}
+
+func (db *DB) execInsertLevel(s *sql.InsertStmt, o ExecOptions) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+
+	// Map statement columns onto table positions.
+	target := make([]int, 0, len(schema))
+	if len(s.Columns) == 0 {
+		for i := range schema {
+			target = append(target, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx, err := schema.Resolve("", name)
+			if err != nil {
+				return nil, err
+			}
+			target = append(target, idx)
+		}
+	}
+
+	// INSERT ... SELECT: run the query, then append its rows (the batch
+	// prediction write-back path: INSERT INTO scores SELECT id, PREDICT...).
+	if s.Query != nil {
+		rs, _, err := db.ExecSelect(s.Query, o)
+		if err != nil {
+			return nil, err
+		}
+		if len(rs.Cols) != len(target) {
+			return nil, fmt.Errorf("engine: INSERT ... SELECT produces %d columns for %d targets",
+				len(rs.Cols), len(target))
+		}
+		var affected int64
+		for r := 0; r < rs.N; r++ {
+			vals := make([]Value, len(schema))
+			assigned := make([]bool, len(schema))
+			for i := range target {
+				vals[target[i]] = rs.Cols[i].Value(r)
+				assigned[target[i]] = true
+			}
+			for i := range vals {
+				if !assigned[i] {
+					vals[i] = NullValue()
+				}
+			}
+			if err := t.AppendRow(vals); err != nil {
+				return nil, err
+			}
+			affected++
+		}
+		return &Result{Affected: affected}, nil
+	}
+
+	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+	oneRow := &RowSet{N: 1}
+	var affected int64
+	for _, row := range s.Rows {
+		if len(row) != len(target) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values for %d columns", len(row), len(target))
+		}
+		vals := make([]Value, len(schema))
+		assigned := make([]bool, len(schema))
+		for i, e := range row {
+			fn, err := compileExpr(e, nil, env)
+			if err != nil {
+				return nil, err
+			}
+			v, err := fn(oneRow, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals[target[i]] = v
+			assigned[target[i]] = true
+		}
+		for i := range vals {
+			if !assigned[i] {
+				vals[i] = NullValue()
+			}
+		}
+		if err := t.AppendRow(vals); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols, schema, n := t.snapshot()
+	rs := &RowSet{Schema: schema, Cols: cols, N: n}
+	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+
+	var where evalFunc
+	if s.Where != nil {
+		where, err = compileExpr(s.Where, schema, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type setOp struct {
+		idx int
+		fn  evalFunc
+	}
+	sets := make([]setOp, len(s.Sets))
+	for i, sc := range s.Sets {
+		idx, err := schema.Resolve("", sc.Column)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := compileExpr(sc.Value, schema, env)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{idx: idx, fn: fn}
+	}
+
+	// Copy-on-write rebuild of the affected columns.
+	newCols := make([]Column, len(cols))
+	for i := range cols {
+		newCols[i] = NewColumn(cols[i].Type)
+	}
+	var affected int64
+	for r := 0; r < n; r++ {
+		hit := true
+		if where != nil {
+			v, err := where(rs, r)
+			if err != nil {
+				return nil, err
+			}
+			hit = v.Truthy()
+		}
+		rowVals := make([]Value, len(cols))
+		for c := range cols {
+			rowVals[c] = cols[c].Value(r)
+		}
+		if hit {
+			for _, op := range sets {
+				v, err := op.fn(rs, r)
+				if err != nil {
+					return nil, err
+				}
+				rowVals[op.idx] = v
+			}
+			affected++
+		}
+		for c := range newCols {
+			if err := newCols[c].Append(rowVals[c]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.ReplaceColumns(newCols); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execDelete(s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols, schema, n := t.snapshot()
+	rs := &RowSet{Schema: schema, Cols: cols, N: n}
+	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+
+	var where evalFunc
+	if s.Where != nil {
+		where, err = compileExpr(s.Where, schema, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var keep []int32
+	var affected int64
+	for r := 0; r < n; r++ {
+		hit := true
+		if where != nil {
+			v, err := where(rs, r)
+			if err != nil {
+				return nil, err
+			}
+			hit = v.Truthy()
+		}
+		if hit {
+			affected++
+		} else {
+			keep = append(keep, int32(r))
+		}
+	}
+	kept := rs.Gather(keep)
+	if err := t.ReplaceColumns(kept.Cols); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}

@@ -1,0 +1,641 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/onnx"
+	"repro/internal/opt"
+	sqlpkg "repro/internal/sql"
+)
+
+// fakeModels is a trivial model provider for tests.
+type fakeModels map[string]*onnx.Graph
+
+func (f fakeModels) GraphFor(name string) (*onnx.Graph, error) {
+	g, ok := f[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+	return g, nil
+}
+
+// newTestDB builds a DB with an "orders" table.
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	_, err := db.CreateTableFromColumns("orders",
+		[]string{"id", "region", "amount", "priority"},
+		[]Column{
+			IntColumn([]int64{1, 2, 3, 4, 5, 6}),
+			StringColumn([]string{"us", "eu", "us", "apac", "eu", "us"}),
+			FloatColumn([]float64{10, 20, 30, 40, 50, 60}),
+			IntColumn([]int64{1, 2, 1, 3, 2, 1}),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (a int, b text, c float)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO t (a, b, c) VALUES (1, 'x', 1.5), (2, 'y', 2.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Errorf("affected = %d", res.Affected)
+	}
+	res, err = db.Exec("SELECT a, b, c FROM t WHERE a = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != "y" || res.Rows[0][2] != 2.5 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectFilterProject(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT id, amount * 2 AS dbl FROM orders WHERE region = 'us' AND amount > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[1] != "dbl" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Rows[0][1] != 60.0 || res.Rows[1][1] != 120.0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT * FROM orders WHERE id <= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Columns) != 4 {
+		t.Errorf("star select: %v %v", res.Columns, res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec(`SELECT region, count(*) AS n, sum(amount) AS total, avg(amount) AS mean,
+		min(amount) AS lo, max(amount) AS hi
+		FROM orders GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// apac, eu, us
+	if res.Rows[0][0] != "apac" || res.Rows[0][1] != int64(1) || res.Rows[0][2] != 40.0 {
+		t.Errorf("apac row = %v", res.Rows[0])
+	}
+	if res.Rows[2][0] != "us" || res.Rows[2][1] != int64(3) || res.Rows[2][2] != 100.0 {
+		t.Errorf("us row = %v", res.Rows[2])
+	}
+	if res.Rows[1][3] != 35.0 || res.Rows[1][4] != 20.0 || res.Rows[1][5] != 50.0 {
+		t.Errorf("eu stats = %v", res.Rows[1])
+	}
+}
+
+func TestHavingAndOrderByAgg(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec(`SELECT region, sum(amount) AS total FROM orders
+		GROUP BY region HAVING sum(amount) > 50 ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "us" || res.Rows[1][0] != "eu" {
+		t.Errorf("order = %v", res.Rows)
+	}
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT count(*) AS n, sum(amount) AS s FROM orders WHERE amount > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(0) {
+		t.Errorf("empty aggregate = %v", res.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT count(DISTINCT region) AS n FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(3) {
+		t.Errorf("distinct regions = %v", res.Rows)
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT DISTINCT region FROM orders ORDER BY region LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "apac" || res.Rows[1][0] != "eu" {
+		t.Errorf("distinct+limit = %v", res.Rows)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec("CREATE TABLE regions (code text, name text)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO regions VALUES ('us', 'United States'), ('eu', 'Europe')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT o.id, r.name FROM orders o JOIN regions r ON o.region = r.code
+		WHERE o.amount >= 30 ORDER BY o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orders with amount >= 30: ids 3 (us), 4 (apac, no match), 5 (eu), 6 (us)
+	if len(res.Rows) != 3 {
+		t.Fatalf("join rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != int64(3) || res.Rows[0][1] != "United States" {
+		t.Errorf("join row 0 = %v", res.Rows[0])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec("CREATE TABLE regions (code text, name text)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO regions VALUES ('us', 'United States')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT o.id, r.name FROM orders o LEFT JOIN regions r ON o.region = r.code ORDER BY o.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("left join rows = %d", len(res.Rows))
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("UPDATE orders SET amount = amount + 100 WHERE region = 'eu'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Errorf("update affected = %d", res.Affected)
+	}
+	res, err = db.Exec("SELECT sum(amount) AS s FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 410.0 {
+		t.Errorf("sum after update = %v", res.Rows[0][0])
+	}
+	res, err = db.Exec("DELETE FROM orders WHERE priority = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 3 {
+		t.Errorf("delete affected = %d", res.Affected)
+	}
+	res, _ = db.Exec("SELECT count(*) AS n FROM orders")
+	if res.Rows[0][0] != int64(3) {
+		t.Errorf("rows after delete = %v", res.Rows[0][0])
+	}
+}
+
+func TestVersionBumpsOnWrite(t *testing.T) {
+	db := newTestDB(t)
+	tab, _ := db.Table("orders")
+	v0 := tab.Version()
+	if _, err := db.Exec("INSERT INTO orders VALUES (7, 'us', 70.0, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() <= v0 {
+		t.Error("version should bump on insert")
+	}
+	v1 := tab.Version()
+	if _, err := db.Exec("UPDATE orders SET amount = 0 WHERE id = 7"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() <= v1 {
+		t.Error("version should bump on update")
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	db := newTestDB(t)
+	tab, _ := db.Table("orders")
+	stats := tab.Stats()
+	am := stats["amount"]
+	if !am.HasRange || am.Min != 10 || am.Max != 60 {
+		t.Errorf("amount stats = %+v", am)
+	}
+	reg := stats["region"]
+	if len(reg.Categories) != 3 || !reg.Categories["us"] {
+		t.Errorf("region stats = %+v", reg)
+	}
+	// Stats invalidate on write.
+	if _, err := db.Exec("INSERT INTO orders VALUES (7, 'latam', 99.0, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	stats = tab.Stats()
+	if stats["amount"].Max != 99 || !stats["region"].Categories["latam"] {
+		t.Error("stats not refreshed after write")
+	}
+}
+
+func TestQueryLog(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec("SELECT id FROM orders WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO orders VALUES (9, 'us', 1.0, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	log := db.QueryLog()
+	if len(log) != 2 {
+		t.Fatalf("log entries = %d", len(log))
+	}
+	if log[0].Seq != 1 || log[1].Seq != 2 {
+		t.Error("log sequence wrong")
+	}
+}
+
+func TestDateAndLike(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE ship (id int, d text, comment text)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO ship VALUES
+		(1, '1994-01-15', 'urgent deliver'),
+		(2, '1994-06-15', 'standard'),
+		(3, '1995-02-01', 'urgent')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT id FROM ship
+		WHERE d >= DATE '1994-01-01' AND d < DATE '1994-01-01' + INTERVAL '1' year
+		AND comment LIKE '%urgent%' ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(1) {
+		t.Errorf("date+like rows = %v", res.Rows)
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec(`SELECT id, CASE WHEN amount >= 40 THEN 'big' ELSE 'small' END AS size
+		FROM orders ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1] != "small" || res.Rows[5][1] != "big" {
+		t.Errorf("case rows = %v", res.Rows)
+	}
+}
+
+func TestBetweenInSubstring(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec(`SELECT id, substring(region, 1, 1) AS initial FROM orders
+		WHERE amount BETWEEN 20 AND 50 AND region IN ('eu', 'apac') ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1] != "e" {
+		t.Errorf("substring = %v", res.Rows[0][1])
+	}
+}
+
+func TestFromLessSelect(t *testing.T) {
+	db := NewDB()
+	res, err := db.Exec("SELECT 1 + 2 AS three, 'x' AS s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(3) || res.Rows[0][1] != "x" {
+		t.Errorf("from-less = %v", res.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := newTestDB(t)
+	for _, q := range []string{
+		"SELECT nope FROM orders",
+		"SELECT id FROM missing",
+		"SELECT PREDICT(ghost, amount) FROM orders",
+		"INSERT INTO orders VALUES (1)",
+		"SELECT id FROM orders WHERE region IN (SELECT region FROM orders)",
+		"SELECT amount / 0 FROM orders",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+// buildScoringSetup trains a pipeline over a synthetic customer table,
+// deploys the graph via a fake provider, and loads the data into a table.
+func buildScoringSetup(t testing.TB, db *DB, n int) *onnx.Graph {
+	r := ml.NewRand(123)
+	ids := make([]int64, n)
+	ages := make([]float64, n)
+	income := make([]float64, n)
+	regions := make([]string, n)
+	y := make([]float64, n)
+	regionNames := []string{"us", "eu", "apac", "latam"}
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		ages[i] = 20 + r.Float64()*50
+		income[i] = 20000 + r.Float64()*100000
+		regions[i] = regionNames[r.Intn(4)]
+		score := (ages[i]-45)/12 + (income[i]-70000)/40000
+		if regions[i] == "us" {
+			score++
+		}
+		if score > 0 {
+			y[i] = 1
+		}
+	}
+	f := ml.NewFrame().
+		AddNumeric("age", ages).
+		AddNumeric("income", income).
+		AddCategorical("region", regions)
+	pipe := ml.NewPipeline("churn",
+		ml.NewFeaturizer().
+			With("age", &ml.StandardScaler{}).
+			With("income", &ml.StandardScaler{}).
+			With("region", &ml.OneHotEncoder{}),
+		&ml.GradientBoosting{NTrees: 20, MaxDepth: 3, Loss: ml.LossLogistic})
+	if err := pipe.Fit(f, y); err != nil {
+		t.Fatal(err)
+	}
+	g, err := onnx.Export(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTableFromColumns("customers",
+		[]string{"id", "age", "income", "region"},
+		[]Column{IntColumn(ids), FloatColumn(ages), FloatColumn(income), StringColumn(regions)}); err != nil {
+		t.Fatal(err)
+	}
+	db.SetModelProvider(fakeModels{"churn": g})
+	return g
+}
+
+func TestPredictAllLevelsAgree(t *testing.T) {
+	db := NewDB()
+	buildScoringSetup(t, db, 2000)
+	const q = `SELECT id, PREDICT(churn, age, income, region) AS score FROM customers
+		WHERE age > 30 AND PREDICT(churn, age, income, region) > 0.7 ORDER BY id`
+
+	var ref *Result
+	for _, level := range []opt.Level{opt.LevelUDF, opt.LevelVectorized, opt.LevelParallel, opt.LevelFull} {
+		res, err := db.ExecLevel(q, level)
+		if err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+		if ref == nil {
+			ref = res
+			if len(res.Rows) == 0 {
+				t.Fatal("query returned no rows; test is vacuous")
+			}
+			continue
+		}
+		if len(res.Rows) != len(ref.Rows) {
+			t.Fatalf("level %v: %d rows, want %d", level, len(res.Rows), len(ref.Rows))
+		}
+		for i := range res.Rows {
+			if res.Rows[i][0] != ref.Rows[i][0] {
+				t.Fatalf("level %v row %d id mismatch", level, i)
+			}
+			a := res.Rows[i][1].(float64)
+			b := ref.Rows[i][1].(float64)
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("level %v row %d score %v vs %v", level, i, a, b)
+			}
+		}
+	}
+}
+
+func TestPredictPushUpChangesPlanNotResult(t *testing.T) {
+	db := NewDB()
+	buildScoringSetup(t, db, 1000)
+	// Score used only in the threshold: push-up applies at LevelFull.
+	const q = `SELECT id FROM customers WHERE PREDICT(churn, age, income, region) >= 0.8 ORDER BY id`
+	stmt, err := sqlpkg.ParseOne(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repFull, err := db.ExecSelect(stmt.(*sqlpkg.SelectStmt), ExecOptions{Level: opt.LevelFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repFull.PushedUp {
+		t.Error("push-up should fire when score is only compared")
+	}
+	resFull, err := db.ExecLevel(q, opt.LevelFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase, err := db.ExecLevel(q, opt.LevelVectorized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resFull.Rows) != len(resBase.Rows) {
+		t.Fatalf("push-up changed results: %d vs %d rows", len(resFull.Rows), len(resBase.Rows))
+	}
+	for i := range resFull.Rows {
+		if resFull.Rows[i][0] != resBase.Rows[i][0] {
+			t.Fatalf("push-up changed row %d", i)
+		}
+	}
+}
+
+func TestPredictAggregates(t *testing.T) {
+	db := NewDB()
+	buildScoringSetup(t, db, 500)
+	res, err := db.Exec(`SELECT region, avg(PREDICT(churn, age, income, region)) AS mean_score, count(*) AS n
+		FROM customers GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += row[2].(int64)
+		score := row[1].(float64)
+		if score < 0 || score > 1 {
+			t.Errorf("mean score %v out of range", score)
+		}
+	}
+	if total != 500 {
+		t.Errorf("total rows = %d", total)
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	db := newTestDB(t)
+	done := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := db.Exec("SELECT count(*) AS n, sum(amount) AS s FROM orders"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				q := fmt.Sprintf("INSERT INTO orders VALUES (%d, 'us', 5.0, 1)", 100+w*50+i)
+				if _, err := db.Exec(q); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: LIKE matcher agrees with a reference implementation on random
+// inputs drawn from a small alphabet.
+func TestLikeProperty(t *testing.T) {
+	ref := func(s, p string) bool {
+		// Simple recursive reference.
+		var rec func(si, pi int) bool
+		rec = func(si, pi int) bool {
+			if pi == len(p) {
+				return si == len(s)
+			}
+			switch p[pi] {
+			case '%':
+				for k := si; k <= len(s); k++ {
+					if rec(k, pi+1) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				return si < len(s) && rec(si+1, pi+1)
+			default:
+				return si < len(s) && s[si] == p[pi] && rec(si+1, pi+1)
+			}
+		}
+		return rec(0, 0)
+	}
+	alphabet := []byte("ab%_")
+	f := func(sBits, pBits uint32) bool {
+		var s, p []byte
+		for i := 0; i < 8; i++ {
+			s = append(s, alphabet[(sBits>>(i*2))&1]) // only 'a','b' in s
+			p = append(p, alphabet[(pBits>>(i*2))&3])
+		}
+		return likeMatch(string(s), string(p)) == ref(string(s), string(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddInterval(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		unit string
+		want string
+	}{
+		{"1994-01-01", 1, "year", "1995-01-01"},
+		{"1994-01-31", 1, "month", "1994-02-28"},
+		{"1996-01-31", 1, "month", "1996-02-29"},
+		{"1994-12-31", 1, "day", "1995-01-01"},
+		{"1994-03-01", -1, "day", "1994-02-28"},
+		{"1994-01-15", 90, "day", "1994-04-15"},
+		{"1994-11-15", 3, "month", "1995-02-15"},
+	}
+	for _, c := range cases {
+		got, err := AddInterval(c.in, c.n, c.unit)
+		if err != nil {
+			t.Fatalf("AddInterval(%s, %d, %s): %v", c.in, c.n, c.unit, err)
+		}
+		if got != c.want {
+			t.Errorf("AddInterval(%s, %d, %s) = %s, want %s", c.in, c.n, c.unit, got, c.want)
+		}
+	}
+	if _, err := AddInterval("bogus", 1, "day"); err == nil {
+		t.Error("bad date should error")
+	}
+	if _, err := AddInterval("1994-01-01", 1, "fortnight"); err == nil {
+		t.Error("bad unit should error")
+	}
+}
+
+func TestInsertSelectBatchWriteback(t *testing.T) {
+	db := NewDB()
+	buildScoringSetup(t, db, 300)
+	if _, err := db.Exec("CREATE TABLE scores (id int, score float)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`INSERT INTO scores (id, score)
+		SELECT id, PREDICT(churn, age, income, region) FROM customers WHERE age > 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected == 0 {
+		t.Fatal("no rows written back")
+	}
+	check, err := db.Exec("SELECT count(*) AS n, min(score) AS lo, max(score) AS hi FROM scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Rows[0][0].(int64) != res.Affected {
+		t.Errorf("stored %v rows, affected %d", check.Rows[0][0], res.Affected)
+	}
+	if lo := check.Rows[0][1].(float64); lo < 0 || lo > 1 {
+		t.Errorf("score out of range: %v", lo)
+	}
+	// Mismatched column count errors cleanly.
+	if _, err := db.Exec("INSERT INTO scores (id, score) SELECT id FROM customers"); err == nil {
+		t.Error("column-count mismatch should error")
+	}
+}

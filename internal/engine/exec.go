@@ -1,0 +1,923 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ml"
+	"repro/internal/onnx"
+	"repro/internal/opt"
+	"repro/internal/sql"
+)
+
+// ExecOptions controls physical execution.
+type ExecOptions struct {
+	// Level is the optimization level (see opt.Level).
+	Level opt.Level
+	// Parallelism caps worker count; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// parallelThreshold is the minimum row count before partitioned parallel
+// execution pays for itself (the engine's "physical operator selection").
+const parallelThreshold = 8192
+
+// predictChunk is the vectorized inference batch size.
+const predictChunk = 4096
+
+type executor struct {
+	db  *DB
+	o   ExecOptions
+	env *compileEnv
+}
+
+func (ex *executor) workers(n int) int {
+	if ex.o.Level < opt.LevelParallel || n < parallelThreshold {
+		return 1
+	}
+	w := ex.o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// partition splits [0, n) into w contiguous ranges.
+func partition(n, w int) [][2]int {
+	if w < 1 {
+		w = 1
+	}
+	out := make([][2]int, 0, w)
+	size := (n + w - 1) / w
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+func (ex *executor) exec(node opt.Node) (*RowSet, error) {
+	switch n := node.(type) {
+	case nil:
+		return &RowSet{N: 1}, nil // FROM-less SELECT
+	case *opt.Scan:
+		return ex.execScan(n)
+	case *opt.Filter:
+		in, err := ex.exec(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return ex.filterRowSet(in, opt.AndAll(n.Preds))
+	case *opt.Predict:
+		return ex.execPredict(n)
+	case *opt.Join:
+		return ex.execJoin(n)
+	case *opt.Aggregate:
+		return ex.execAggregate(n)
+	case *opt.Project:
+		return ex.execProject(n)
+	case *opt.Distinct:
+		return ex.execDistinct(n)
+	case *opt.Sort:
+		return ex.execSort(n)
+	case *opt.Limit:
+		in, err := ex.exec(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		if int64(in.N) <= n.N {
+			return in, nil
+		}
+		return in.Slice(0, int(n.N)), nil
+	}
+	return nil, fmt.Errorf("engine: unknown plan node %T", node)
+}
+
+func (ex *executor) execScan(n *opt.Scan) (*RowSet, error) {
+	t, err := ex.db.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	var cols []Column
+	var schema Schema
+	var rows int
+	if n.Version >= 0 {
+		cols, schema, rows, err = t.SnapshotAt(n.Version)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cols, schema, rows = t.snapshot()
+	}
+	qualified := make(Schema, len(schema))
+	for i, m := range schema {
+		qualified[i] = ColMeta{Qual: n.Alias, Name: m.Name, Type: m.Type}
+	}
+	rs := &RowSet{Schema: qualified, Cols: cols, N: rows}
+	if len(n.Filters) == 0 {
+		return rs, nil
+	}
+	return ex.filterRowSet(rs, opt.AndAll(n.Filters))
+}
+
+// filterRowSet evaluates pred over rs and gathers the surviving rows,
+// in parallel partitions when warranted.
+func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
+	if pred == nil {
+		return rs, nil
+	}
+	fn, err := compileExpr(pred, rs.Schema, ex.env)
+	if err != nil {
+		return nil, err
+	}
+	w := ex.workers(rs.N)
+	parts := partition(rs.N, w)
+	sels := make([][]int32, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for pi, pr := range parts {
+		wg.Add(1)
+		go func(pi int, lo, hi int) {
+			defer wg.Done()
+			var sel []int32
+			for r := lo; r < hi; r++ {
+				v, err := fn(rs, r)
+				if err != nil {
+					errs[pi] = err
+					return
+				}
+				if v.Truthy() {
+					sel = append(sel, int32(r))
+				}
+			}
+			sels[pi] = sel
+		}(pi, pr[0], pr[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, s := range sels {
+		total += len(s)
+	}
+	sel := make([]int32, 0, total)
+	for _, s := range sels {
+		sel = append(sel, s...)
+	}
+	if total == rs.N {
+		return rs, nil
+	}
+	return rs.Gather(sel), nil
+}
+
+// execPredict runs the vectorized inference operator: it binds the argument
+// columns to the model graph's inputs, scores in chunks (in parallel at
+// LevelParallel and above), optionally applies a fused threshold compare,
+// and appends the score column.
+func (ex *executor) execPredict(n *opt.Predict) (*RowSet, error) {
+	in, err := ex.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	g := n.Graph
+	if len(n.Args) != len(g.Inputs) {
+		return nil, fmt.Errorf("engine: PREDICT(%s, ...) takes %d arguments, got %d",
+			n.Model, len(g.Inputs), len(n.Args))
+	}
+	sess, err := onnx.NewSession(g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bind each model input to a column (materializing derived arguments).
+	batchCols := make([]onnx.Column, len(n.Args))
+	for i, a := range n.Args {
+		col, err := ex.bindColumn(in, a)
+		if err != nil {
+			return nil, fmt.Errorf("engine: PREDICT(%s) argument %d: %w", n.Model, i+1, err)
+		}
+		switch g.Inputs[i].Kind {
+		case ml.KindNumeric:
+			switch col.Type {
+			case TypeFloat:
+				batchCols[i] = onnx.Column{Nums: col.Floats}
+			case TypeInt:
+				conv := make([]float64, len(col.Ints))
+				for j, v := range col.Ints {
+					conv[j] = float64(v)
+				}
+				batchCols[i] = onnx.Column{Nums: conv}
+			default:
+				return nil, fmt.Errorf("engine: PREDICT(%s) argument %d: model wants numeric, column is %s",
+					n.Model, i+1, col.Type)
+			}
+		default: // categorical or text
+			if col.Type != TypeString {
+				return nil, fmt.Errorf("engine: PREDICT(%s) argument %d: model wants text, column is %s",
+					n.Model, i+1, col.Type)
+			}
+			batchCols[i] = onnx.Column{Strs: col.Strs}
+		}
+	}
+
+	scores := make([]float64, in.N)
+	w := ex.workers(in.N)
+	var runErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, pr := range partition(in.N, w) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for clo := lo; clo < hi; clo += predictChunk {
+				chi := clo + predictChunk
+				if chi > hi {
+					chi = hi
+				}
+				b := onnx.Batch{N: chi - clo, Cols: make([]onnx.Column, len(batchCols))}
+				for i := range batchCols {
+					if batchCols[i].Nums != nil {
+						b.Cols[i].Nums = batchCols[i].Nums[clo:chi]
+					} else {
+						b.Cols[i].Strs = batchCols[i].Strs[clo:chi]
+					}
+				}
+				if err := sess.RunInto(&b, scores[clo:chi]); err != nil {
+					mu.Lock()
+					runErr = err
+					mu.Unlock()
+					return
+				}
+			}
+		}(pr[0], pr[1])
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	outSchema := append(append(Schema(nil), in.Schema...), ColMeta{Name: n.OutName, Type: TypeFloat})
+	if n.Compare == nil {
+		cols := append(append([]Column(nil), in.Cols...), FloatColumn(scores))
+		return &RowSet{Schema: outSchema, Cols: cols, N: in.N}, nil
+	}
+	// Fused threshold filter.
+	sel := make([]int32, 0, in.N/4)
+	thr := n.Compare.Threshold
+	switch n.Compare.Op {
+	case ">":
+		for r, s := range scores {
+			if s > thr {
+				sel = append(sel, int32(r))
+			}
+		}
+	case ">=":
+		for r, s := range scores {
+			if s >= thr {
+				sel = append(sel, int32(r))
+			}
+		}
+	case "<":
+		for r, s := range scores {
+			if s < thr {
+				sel = append(sel, int32(r))
+			}
+		}
+	case "<=":
+		for r, s := range scores {
+			if s <= thr {
+				sel = append(sel, int32(r))
+			}
+		}
+	case "=":
+		for r, s := range scores {
+			if s == thr {
+				sel = append(sel, int32(r))
+			}
+		}
+	case "<>":
+		for r, s := range scores {
+			if s != thr {
+				sel = append(sel, int32(r))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported fused compare %q", n.Compare.Op)
+	}
+	out := in.Gather(sel)
+	fc := FloatColumn(scores)
+	scoreCol := fc.Gather(sel)
+	out.Schema = outSchema
+	out.Cols = append(out.Cols, scoreCol)
+	return out, nil
+}
+
+// bindColumn resolves an argument expression to a column, materializing a
+// derived column when the argument is not a direct reference.
+func (ex *executor) bindColumn(rs *RowSet, a sql.Expr) (Column, error) {
+	if cr, ok := a.(*sql.ColRef); ok {
+		idx, err := rs.Schema.Resolve(cr.Table, cr.Name)
+		if err != nil {
+			return Column{}, err
+		}
+		return rs.Cols[idx], nil
+	}
+	fn, err := compileExpr(a, rs.Schema, ex.env)
+	if err != nil {
+		return Column{}, err
+	}
+	typ, err := inferType(a, rs.Schema)
+	if err != nil {
+		return Column{}, err
+	}
+	col := NewColumn(typ)
+	for r := 0; r < rs.N; r++ {
+		v, err := fn(rs, r)
+		if err != nil {
+			return Column{}, err
+		}
+		if err := col.Append(v); err != nil {
+			return Column{}, err
+		}
+	}
+	return col, nil
+}
+
+func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
+	left, err := ex.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	combined := append(append(Schema(nil), left.Schema...), right.Schema...)
+
+	// Split the ON condition into equi-key pairs and residual predicates.
+	var leftKeys, rightKeys []int
+	var residual []sql.Expr
+	for _, c := range opt.SplitConjuncts(n.On) {
+		b, ok := c.(*sql.Binary)
+		if ok && b.Op == "=" {
+			if li, ri, ok := resolvePair(b.L, b.R, left.Schema, right.Schema); ok {
+				leftKeys = append(leftKeys, li)
+				rightKeys = append(rightKeys, ri)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	if len(leftKeys) == 0 && n.On != nil {
+		return nil, fmt.Errorf("engine: join requires at least one equality condition")
+	}
+	if n.On == nil {
+		// Cross join: guard against blow-up.
+		if left.N*right.N > 4_000_000 {
+			return nil, fmt.Errorf("engine: refusing cross join of %d x %d rows", left.N, right.N)
+		}
+		var lsel, rsel []int32
+		for l := 0; l < left.N; l++ {
+			for r := 0; r < right.N; r++ {
+				lsel = append(lsel, int32(l))
+				rsel = append(rsel, int32(r))
+			}
+		}
+		return ex.materializeJoin(left, right, combined, lsel, rsel, residual, nil)
+	}
+
+	// Hash the right side.
+	build := map[string][]int32{}
+	var key strings.Builder
+	for r := 0; r < right.N; r++ {
+		key.Reset()
+		for _, k := range rightKeys {
+			encodeValue(&key, right.Cols[k].Value(r))
+		}
+		build[key.String()] = append(build[key.String()], int32(r))
+	}
+	var lsel, rsel []int32
+	matched := make([]bool, 0)
+	var leftUnmatched []int32
+	for l := 0; l < left.N; l++ {
+		key.Reset()
+		for _, k := range leftKeys {
+			encodeValue(&key, left.Cols[k].Value(l))
+		}
+		rows := build[key.String()]
+		if len(rows) == 0 {
+			if n.Type == sql.JoinLeft {
+				leftUnmatched = append(leftUnmatched, int32(l))
+			}
+			continue
+		}
+		for _, r := range rows {
+			lsel = append(lsel, int32(l))
+			rsel = append(rsel, r)
+		}
+	}
+	_ = matched
+	return ex.materializeJoin(left, right, combined, lsel, rsel, residual, leftUnmatched)
+}
+
+// materializeJoin gathers the matched pairs, applies residual predicates,
+// and appends zero-padded unmatched left rows for LEFT JOIN.
+func (ex *executor) materializeJoin(left, right *RowSet, schema Schema,
+	lsel, rsel []int32, residual []sql.Expr, leftUnmatched []int32) (*RowSet, error) {
+
+	lpart := left.Gather(lsel)
+	rpart := right.Gather(rsel)
+	out := &RowSet{Schema: schema, Cols: append(lpart.Cols, rpart.Cols...), N: len(lsel)}
+	if len(residual) > 0 {
+		var err error
+		out, err = ex.filterRowSet(out, opt.AndAll(residual))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(leftUnmatched) > 0 {
+		// LEFT JOIN unmatched rows: right columns are zero-valued (the
+		// engine stores no NULL bitmap; documented limitation).
+		lpad := left.Gather(leftUnmatched)
+		padCols := make([]Column, len(right.Cols))
+		for i := range right.Cols {
+			padCols[i] = NewColumn(right.Cols[i].Type)
+			for k := 0; k < len(leftUnmatched); k++ {
+				_ = padCols[i].Append(NullValue())
+			}
+		}
+		merged := &RowSet{Schema: schema, N: out.N + len(leftUnmatched)}
+		merged.Cols = make([]Column, len(schema))
+		for i := range schema {
+			var a, b Column
+			if i < len(left.Cols) {
+				a, b = out.Cols[i], lpad.Cols[i]
+			} else {
+				a, b = out.Cols[i], padCols[i-len(left.Cols)]
+			}
+			merged.Cols[i] = concatColumns(a, b)
+		}
+		return merged, nil
+	}
+	return out, nil
+}
+
+func concatColumns(a, b Column) Column {
+	out := Column{Type: a.Type}
+	switch a.Type {
+	case TypeInt:
+		out.Ints = append(append([]int64(nil), a.Ints...), b.Ints...)
+	case TypeFloat:
+		out.Floats = append(append([]float64(nil), a.Floats...), b.Floats...)
+	case TypeString:
+		out.Strs = append(append([]string(nil), a.Strs...), b.Strs...)
+	case TypeBool:
+		out.Bools = append(append([]bool(nil), a.Bools...), b.Bools...)
+	}
+	return out
+}
+
+// resolvePair tries to resolve l in the left schema and r in the right (or
+// mirrored), returning the column indices.
+func resolvePair(l, r sql.Expr, left, right Schema) (int, int, bool) {
+	lc, ok1 := l.(*sql.ColRef)
+	rc, ok2 := r.(*sql.ColRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	if li, err := left.Resolve(lc.Table, lc.Name); err == nil {
+		if ri, err := right.Resolve(rc.Table, rc.Name); err == nil {
+			return li, ri, true
+		}
+	}
+	if li, err := left.Resolve(rc.Table, rc.Name); err == nil {
+		if ri, err := right.Resolve(lc.Table, lc.Name); err == nil {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+func encodeValue(b *strings.Builder, v Value) {
+	if v.Null {
+		b.WriteString("\x00N|")
+		return
+	}
+	switch v.Kind {
+	case TypeInt:
+		fmt.Fprintf(b, "\x01%d|", v.I)
+	case TypeFloat:
+		fmt.Fprintf(b, "\x02%g|", v.F)
+	case TypeString:
+		b.WriteString("\x03")
+		b.WriteString(v.S)
+		b.WriteString("|")
+	case TypeBool:
+		if v.B {
+			b.WriteString("\x04t|")
+		} else {
+			b.WriteString("\x04f|")
+		}
+	}
+}
+
+type aggState struct {
+	groupVals []Value
+	count     int64
+	sum       float64
+	sumIsInt  bool
+	sumI      int64
+	min, max  Value
+	seen      bool
+	distinct  map[string]bool
+}
+
+func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
+	in, err := ex.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	groupFns := make([]evalFunc, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		fn, err := compileExpr(g, in.Schema, ex.env)
+		if err != nil {
+			return nil, err
+		}
+		groupFns[i] = fn
+	}
+	argFns := make([]evalFunc, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		fn, err := compileExpr(a.Arg, in.Schema, ex.env)
+		if err != nil {
+			return nil, err
+		}
+		argFns[i] = fn
+	}
+
+	states := map[string][]*aggState{} // key -> one state per agg (index 0 holds groupVals)
+	var order []string
+	var key strings.Builder
+	for r := 0; r < in.N; r++ {
+		key.Reset()
+		groupVals := make([]Value, len(groupFns))
+		for i, fn := range groupFns {
+			v, err := fn(in, r)
+			if err != nil {
+				return nil, err
+			}
+			groupVals[i] = v
+			encodeValue(&key, v)
+		}
+		k := key.String()
+		sts := states[k]
+		if sts == nil {
+			sts = make([]*aggState, len(n.Aggs))
+			for i := range sts {
+				sts[i] = &aggState{sumIsInt: true}
+				if n.Aggs[i].Distinct {
+					sts[i].distinct = map[string]bool{}
+				}
+			}
+			if len(sts) == 0 {
+				sts = []*aggState{{}}
+			}
+			sts[0].groupVals = groupVals
+			states[k] = sts
+			order = append(order, k)
+		}
+		for i, spec := range n.Aggs {
+			st := sts[i]
+			if spec.Star {
+				st.count++
+				continue
+			}
+			v, err := argFns[i](in, r)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null {
+				continue
+			}
+			if spec.Distinct {
+				var db strings.Builder
+				encodeValue(&db, v)
+				if st.distinct[db.String()] {
+					continue
+				}
+				st.distinct[db.String()] = true
+			}
+			st.count++
+			switch spec.Func {
+			case "sum", "avg":
+				f, err := v.AsFloat()
+				if err != nil {
+					return nil, fmt.Errorf("engine: %s over %s", spec.Func, v.Kind)
+				}
+				st.sum += f
+				if v.Kind == TypeInt {
+					st.sumI += v.I
+				} else {
+					st.sumIsInt = false
+				}
+			case "min":
+				if !st.seen {
+					st.min = v
+				} else if c, _ := Compare(v, st.min); c < 0 {
+					st.min = v
+				}
+			case "max":
+				if !st.seen {
+					st.max = v
+				} else if c, _ := Compare(v, st.max); c > 0 {
+					st.max = v
+				}
+			}
+			st.seen = true
+		}
+	}
+
+	// Global aggregate over empty input still yields one row.
+	if len(order) == 0 && len(n.GroupBy) == 0 {
+		sts := make([]*aggState, len(n.Aggs))
+		for i := range sts {
+			sts[i] = &aggState{}
+		}
+		if len(sts) == 0 {
+			sts = []*aggState{{}}
+		}
+		states[""] = sts
+		order = append(order, "")
+	}
+
+	// Build the output.
+	outSchema := make(Schema, 0, len(n.GroupNames)+len(n.Aggs))
+	outCols := make([]Column, 0, cap(outSchema))
+	// Group column types come from the first group's values.
+	firstGroup := states[order[0]][0].groupVals
+	for i, name := range n.GroupNames {
+		t := TypeString
+		if i < len(firstGroup) && !firstGroup[i].Null {
+			t = firstGroup[i].Kind
+		}
+		outSchema = append(outSchema, ColMeta{Name: name, Type: t})
+		outCols = append(outCols, NewColumn(t))
+	}
+	for _, spec := range n.Aggs {
+		t := TypeFloat
+		if spec.Func == "count" {
+			t = TypeInt
+		}
+		outSchema = append(outSchema, ColMeta{Name: spec.OutName, Type: t})
+		outCols = append(outCols, NewColumn(t))
+	}
+	for _, k := range order {
+		sts := states[k]
+		for i := range n.GroupNames {
+			if err := outCols[i].Append(sts[0].groupVals[i]); err != nil {
+				return nil, err
+			}
+		}
+		for i, spec := range n.Aggs {
+			st := sts[i]
+			var v Value
+			switch spec.Func {
+			case "count":
+				v = IntValue(st.count)
+			case "sum":
+				v = FloatValue(st.sum)
+			case "avg":
+				if st.count == 0 {
+					v = FloatValue(0)
+				} else {
+					v = FloatValue(st.sum / float64(st.count))
+				}
+			case "min":
+				v = st.min
+				if !st.seen {
+					v = NullValue()
+				}
+			case "max":
+				v = st.max
+				if !st.seen {
+					v = NullValue()
+				}
+			default:
+				return nil, fmt.Errorf("engine: unknown aggregate %q", spec.Func)
+			}
+			if v.Kind == TypeInt && outSchema[len(n.GroupNames)+i].Type == TypeFloat {
+				v = FloatValue(float64(v.I))
+			}
+			if err := outCols[len(n.GroupNames)+i].Append(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return NewRowSet(outSchema, outCols)
+}
+
+func (ex *executor) execProject(n *opt.Project) (*RowSet, error) {
+	in, err := ex.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := make(Schema, len(n.Exprs))
+	outCols := make([]Column, len(n.Exprs))
+	for i, e := range n.Exprs {
+		// Fast path: bare column references alias storage.
+		if cr, ok := e.(*sql.ColRef); ok {
+			idx, err := in.Schema.Resolve(cr.Table, cr.Name)
+			if err != nil {
+				return nil, err
+			}
+			outSchema[i] = ColMeta{Name: n.Names[i], Type: in.Schema[idx].Type}
+			outCols[i] = in.Cols[idx]
+			continue
+		}
+		fn, err := compileExpr(e, in.Schema, ex.env)
+		if err != nil {
+			return nil, err
+		}
+		t, err := inferType(e, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		col := NewColumn(t)
+		for r := 0; r < in.N; r++ {
+			v, err := fn(in, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := col.Append(v); err != nil {
+				return nil, err
+			}
+		}
+		outSchema[i] = ColMeta{Name: n.Names[i], Type: t}
+		outCols[i] = col
+	}
+	return &RowSet{Schema: outSchema, Cols: outCols, N: in.N}, nil
+}
+
+func (ex *executor) execDistinct(n *opt.Distinct) (*RowSet, error) {
+	in, err := ex.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var sel []int32
+	var key strings.Builder
+	for r := 0; r < in.N; r++ {
+		key.Reset()
+		for c := range in.Cols {
+			encodeValue(&key, in.Cols[c].Value(r))
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			sel = append(sel, int32(r))
+		}
+	}
+	if len(sel) == in.N {
+		return in, nil
+	}
+	return in.Gather(sel), nil
+}
+
+func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
+	in, err := ex.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	keyFns := make([]evalFunc, len(n.Keys))
+	for i, k := range n.Keys {
+		fn, err := compileExpr(k.Expr, in.Schema, ex.env)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = fn
+	}
+	// Precompute key values per row.
+	keys := make([][]Value, in.N)
+	for r := 0; r < in.N; r++ {
+		kv := make([]Value, len(keyFns))
+		for i, fn := range keyFns {
+			v, err := fn(in, r)
+			if err != nil {
+				return nil, err
+			}
+			kv[i] = v
+		}
+		keys[r] = kv
+	}
+	sel := make([]int32, in.N)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	var sortErr error
+	sort.SliceStable(sel, func(a, b int) bool {
+		ka, kb := keys[sel[a]], keys[sel[b]]
+		for i := range ka {
+			c, err := Compare(ka[i], kb[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if n.Keys[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return in.Gather(sel), nil
+}
+
+// inferType statically determines the result type of an expression.
+func inferType(e sql.Expr, schema Schema) (ColType, error) {
+	switch x := e.(type) {
+	case *sql.ColRef:
+		idx, err := schema.Resolve(x.Table, x.Name)
+		if err != nil {
+			return 0, err
+		}
+		return schema[idx].Type, nil
+	case *sql.Lit:
+		switch x.Kind {
+		case sql.LitInt:
+			return TypeInt, nil
+		case sql.LitFloat:
+			return TypeFloat, nil
+		case sql.LitString:
+			return TypeString, nil
+		case sql.LitBool:
+			return TypeBool, nil
+		default:
+			return TypeFloat, nil // NULL defaults to float storage
+		}
+	case *sql.Unary:
+		if x.Op == "NOT" {
+			return TypeBool, nil
+		}
+		return inferType(x.X, schema)
+	case *sql.Binary:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			return TypeBool, nil
+		case "||":
+			return TypeString, nil
+		}
+		if _, ok := x.R.(*sql.Interval); ok {
+			return TypeString, nil
+		}
+		lt, err := inferType(x.L, schema)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := inferType(x.R, schema)
+		if err != nil {
+			return 0, err
+		}
+		if lt == TypeInt && rt == TypeInt && x.Op != "/" {
+			return TypeInt, nil
+		}
+		return TypeFloat, nil
+	case *sql.Between, *sql.InList, *sql.Like, *sql.IsNull, *sql.Exists:
+		return TypeBool, nil
+	case *sql.Case:
+		if len(x.Whens) > 0 {
+			return inferType(x.Whens[0].Then, schema)
+		}
+		return TypeFloat, nil
+	case *sql.FuncCall:
+		switch x.Name {
+		case "substring", "upper", "lower":
+			return TypeString, nil
+		case "length", "count":
+			return TypeInt, nil
+		default:
+			return TypeFloat, nil
+		}
+	case *sql.Predict:
+		return TypeFloat, nil
+	}
+	return TypeFloat, nil
+}

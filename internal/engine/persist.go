@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Durable snapshots: the engine serializes every table (schema, data,
+// version counter) and the query log to a single stream, and restores them
+// into an empty database — the durability half of the paper's call for
+// "query, lineage-tracking and storage technology that can cover
+// heterogeneous, versioned, and durable data". Model blobs live in the
+// registry's system table, so a snapshot + ModelRegistry.LoadPersisted is
+// a full recovery.
+
+const snapshotMagic = "FLKD"
+
+type savedTable struct {
+	Name    string
+	Schema  Schema
+	Cols    []Column
+	Version int64
+}
+
+type savedDB struct {
+	FormatVersion int
+	Tables        []savedTable
+	Log           []LogEntry
+	LogSeq        int64
+}
+
+// SaveSnapshot writes a durable snapshot of all tables and the query log.
+func (db *DB) SaveSnapshot(w io.Writer) error {
+	db.mu.RLock()
+	snap := savedDB{FormatVersion: 1, Log: append([]LogEntry(nil), db.log...), LogSeq: db.logSeq}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	tables := make([]*Table, 0, len(names))
+	for _, n := range names {
+		tables = append(tables, db.tables[n])
+	}
+	db.mu.RUnlock()
+
+	for _, t := range tables {
+		cols, schema, rows := t.snapshot()
+		_ = rows
+		st := savedTable{Name: t.Name, Schema: schema, Version: t.Version()}
+		// Deep-copy columns so the snapshot is stable even if writes race.
+		st.Cols = make([]Column, len(cols))
+		for i := range cols {
+			st.Cols[i] = copyColumn(cols[i])
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return fmt.Errorf("engine: SaveSnapshot: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("engine: SaveSnapshot: %w", err)
+	}
+	return nil
+}
+
+func copyColumn(c Column) Column {
+	out := Column{Type: c.Type}
+	switch c.Type {
+	case TypeInt:
+		out.Ints = append([]int64(nil), c.Ints...)
+	case TypeFloat:
+		out.Floats = append([]float64(nil), c.Floats...)
+	case TypeString:
+		out.Strs = append([]string(nil), c.Strs...)
+	case TypeBool:
+		out.Bools = append([]bool(nil), c.Bools...)
+	}
+	return out
+}
+
+// LoadSnapshot restores a snapshot into this (empty) database.
+func (db *DB) LoadSnapshot(r io.Reader) error {
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("engine: LoadSnapshot: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("engine: LoadSnapshot: bad magic (not a snapshot)")
+	}
+	var snap savedDB
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("engine: LoadSnapshot: %w", err)
+	}
+	if snap.FormatVersion != 1 {
+		return fmt.Errorf("engine: LoadSnapshot: unsupported format %d", snap.FormatVersion)
+	}
+	db.mu.Lock()
+	if len(db.tables) != 0 {
+		db.mu.Unlock()
+		return fmt.Errorf("engine: LoadSnapshot requires an empty database (%d tables present)", len(db.tables))
+	}
+	db.log = snap.Log
+	db.logSeq = snap.LogSeq
+	db.mu.Unlock()
+
+	for _, st := range snap.Tables {
+		t, err := db.CreateTable(st.Name, st.Schema)
+		if err != nil {
+			return err
+		}
+		if err := t.ReplaceColumns(st.Cols); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.version = st.Version
+		t.history = nil // history does not survive restarts (documented)
+		t.statsVersion = -1
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// SnapshotBytes is a convenience wrapper returning the snapshot as a blob.
+func (db *DB) SnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,466 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/onnx"
+)
+
+// Column is one typed column of values; exactly one backing slice is used,
+// selected by Type.
+type Column struct {
+	Type   ColType
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t ColType) Column { return Column{Type: t} }
+
+// IntColumn wraps a slice as a column (no copy).
+func IntColumn(vals []int64) Column { return Column{Type: TypeInt, Ints: vals} }
+
+// FloatColumn wraps a slice as a column (no copy).
+func FloatColumn(vals []float64) Column { return Column{Type: TypeFloat, Floats: vals} }
+
+// StringColumn wraps a slice as a column (no copy).
+func StringColumn(vals []string) Column { return Column{Type: TypeString, Strs: vals} }
+
+// BoolColumn wraps a slice as a column (no copy).
+func BoolColumn(vals []bool) Column { return Column{Type: TypeBool, Bools: vals} }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	switch c.Type {
+	case TypeInt:
+		return len(c.Ints)
+	case TypeFloat:
+		return len(c.Floats)
+	case TypeString:
+		return len(c.Strs)
+	case TypeBool:
+		return len(c.Bools)
+	}
+	return 0
+}
+
+// Value returns row i as a Value.
+func (c *Column) Value(i int) Value {
+	switch c.Type {
+	case TypeInt:
+		return IntValue(c.Ints[i])
+	case TypeFloat:
+		return FloatValue(c.Floats[i])
+	case TypeString:
+		return StringValue(c.Strs[i])
+	case TypeBool:
+		return BoolValue(c.Bools[i])
+	}
+	return NullValue()
+}
+
+// Append adds a value, coercing numerically when needed.
+func (c *Column) Append(v Value) error {
+	if v.Null {
+		// NULL storage: zero value (the engine has no null bitmap; DML
+		// paths reject NULLs for simplicity, matching the workloads).
+		switch c.Type {
+		case TypeInt:
+			c.Ints = append(c.Ints, 0)
+		case TypeFloat:
+			c.Floats = append(c.Floats, 0)
+		case TypeString:
+			c.Strs = append(c.Strs, "")
+		case TypeBool:
+			c.Bools = append(c.Bools, false)
+		}
+		return nil
+	}
+	switch c.Type {
+	case TypeInt:
+		switch v.Kind {
+		case TypeInt:
+			c.Ints = append(c.Ints, v.I)
+		case TypeFloat:
+			c.Ints = append(c.Ints, int64(v.F))
+		default:
+			return fmt.Errorf("engine: cannot store %s into int column", v.Kind)
+		}
+	case TypeFloat:
+		f, err := v.AsFloat()
+		if err != nil {
+			return fmt.Errorf("engine: cannot store %s into float column", v.Kind)
+		}
+		c.Floats = append(c.Floats, f)
+	case TypeString:
+		if v.Kind != TypeString {
+			return fmt.Errorf("engine: cannot store %s into text column", v.Kind)
+		}
+		c.Strs = append(c.Strs, v.S)
+	case TypeBool:
+		if v.Kind != TypeBool {
+			return fmt.Errorf("engine: cannot store %s into bool column", v.Kind)
+		}
+		c.Bools = append(c.Bools, v.B)
+	}
+	return nil
+}
+
+// Gather returns a new column holding the selected rows.
+func (c *Column) Gather(sel []int32) Column {
+	out := Column{Type: c.Type}
+	switch c.Type {
+	case TypeInt:
+		out.Ints = make([]int64, len(sel))
+		for i, s := range sel {
+			out.Ints[i] = c.Ints[s]
+		}
+	case TypeFloat:
+		out.Floats = make([]float64, len(sel))
+		for i, s := range sel {
+			out.Floats[i] = c.Floats[s]
+		}
+	case TypeString:
+		out.Strs = make([]string, len(sel))
+		for i, s := range sel {
+			out.Strs[i] = c.Strs[s]
+		}
+	case TypeBool:
+		out.Bools = make([]bool, len(sel))
+		for i, s := range sel {
+			out.Bools[i] = c.Bools[s]
+		}
+	}
+	return out
+}
+
+// ColMeta describes one schema column; Qual carries the table alias for
+// disambiguation in joins ("" for derived columns).
+type ColMeta struct {
+	Qual string
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list.
+type Schema []ColMeta
+
+// Resolve finds the column index for a (qualifier, name) reference. An
+// empty qualifier matches any unique bare name.
+func (s Schema) Resolve(qual, name string) (int, error) {
+	found := -1
+	for i, m := range s {
+		if m.Name != name {
+			continue
+		}
+		if qual != "" && m.Qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("engine: ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("engine: unknown column %s.%s", qual, name)
+		}
+		return 0, fmt.Errorf("engine: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// Names returns the bare column names.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, m := range s {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// tableSnapshot is a retained historical version: column headers plus the
+// row count at that version (columns are append-only or wholesale-replaced,
+// so headers stay valid without copying data).
+type tableSnapshot struct {
+	version int64
+	cols    []Column
+	rows    int
+}
+
+// Table is a named, versioned, thread-safe columnar table. A bounded
+// number of historical versions is retained for time-travel reads
+// ("FROM t VERSION n") — the paper's data-versioning requirement.
+type Table struct {
+	Name string
+
+	mu      sync.RWMutex
+	schema  Schema
+	cols    []Column
+	version int64
+
+	history []tableSnapshot
+	retain  int
+
+	statsVersion int64
+	stats        onnx.Stats
+}
+
+// DefaultRetention is how many historical versions a table keeps.
+const DefaultRetention = 8
+
+// NewTable creates an empty table with the given schema (qualifiers are
+// ignored and reset to empty).
+func NewTable(name string, schema Schema) *Table {
+	sc := make(Schema, len(schema))
+	for i, m := range schema {
+		sc[i] = ColMeta{Name: m.Name, Type: m.Type}
+	}
+	cols := make([]Column, len(sc))
+	for i := range cols {
+		cols[i] = NewColumn(sc[i].Type)
+	}
+	return &Table{Name: name, schema: sc, cols: cols, statsVersion: -1, retain: DefaultRetention}
+}
+
+// SetRetention bounds the historical versions kept for time travel.
+func (t *Table) SetRetention(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.retain = n
+	t.trimHistoryLocked()
+}
+
+// recordVersionLocked snapshots the pre-write state (caller holds the
+// write lock and has not mutated yet).
+func (t *Table) recordVersionLocked() {
+	rows := 0
+	if len(t.cols) > 0 {
+		rows = t.cols[0].Len()
+	}
+	cols := make([]Column, len(t.cols))
+	for i := range t.cols {
+		cols[i] = truncateCol(t.cols[i], rows)
+	}
+	t.history = append(t.history, tableSnapshot{version: t.version, cols: cols, rows: rows})
+	t.trimHistoryLocked()
+}
+
+func (t *Table) trimHistoryLocked() {
+	if t.retain >= 0 && len(t.history) > t.retain {
+		t.history = t.history[len(t.history)-t.retain:]
+	}
+}
+
+// SnapshotAt returns the table state as of the given version. The current
+// version is always available; older versions only within the retention
+// window.
+func (t *Table) SnapshotAt(version int64) ([]Column, Schema, int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if version == t.version {
+		rows := 0
+		if len(t.cols) > 0 {
+			rows = t.cols[0].Len()
+		}
+		cols := make([]Column, len(t.cols))
+		for i := range t.cols {
+			cols[i] = truncateCol(t.cols[i], rows)
+		}
+		return cols, t.schema, rows, nil
+	}
+	for i := len(t.history) - 1; i >= 0; i-- {
+		if t.history[i].version == version {
+			return t.history[i].cols, t.schema, t.history[i].rows, nil
+		}
+	}
+	return nil, nil, 0, fmt.Errorf("engine: table %s version %d not retained (window %d, current %d)",
+		t.Name, version, t.retain, t.version)
+}
+
+// RetainedVersions lists the historical versions available for time
+// travel, oldest first, excluding the current version.
+func (t *Table) RetainedVersions() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int64, len(t.history))
+	for i, h := range t.history {
+		out[i] = h.version
+	}
+	return out
+}
+
+// Schema returns a copy of the table schema.
+func (t *Table) Schema() Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append(Schema(nil), t.schema...)
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// Version returns the table version (bumped on every write).
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// snapshot returns the current columns for reading. Readers share the
+// backing arrays; writers always append or replace whole columns under the
+// write lock, and version-bump, so a snapshot stays internally consistent.
+func (t *Table) snapshot() ([]Column, Schema, int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	if len(t.cols) > 0 {
+		n = t.cols[0].Len()
+	}
+	cols := make([]Column, len(t.cols))
+	for i := range t.cols {
+		cols[i] = truncateCol(t.cols[i], n)
+	}
+	return cols, t.schema, n
+}
+
+// truncateCol fixes the column length to n so concurrent appends past the
+// snapshot are invisible.
+func truncateCol(c Column, n int) Column {
+	switch c.Type {
+	case TypeInt:
+		c.Ints = c.Ints[:n]
+	case TypeFloat:
+		c.Floats = c.Floats[:n]
+	case TypeString:
+		c.Strs = c.Strs[:n]
+	case TypeBool:
+		c.Bools = c.Bools[:n]
+	}
+	return c
+}
+
+// AppendRow appends one row of values.
+func (t *Table) AppendRow(vals []Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("engine: table %s has %d columns, got %d values", t.Name, len(t.cols), len(vals))
+	}
+	t.recordVersionLocked()
+	for i := range vals {
+		if err := t.cols[i].Append(vals[i]); err != nil {
+			return fmt.Errorf("engine: table %s column %s: %w", t.Name, t.schema[i].Name, err)
+		}
+	}
+	t.version++
+	return nil
+}
+
+// ReplaceColumns swaps in fully-built columns (bulk load).
+func (t *Table) ReplaceColumns(cols []Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(cols) != len(t.schema) {
+		return fmt.Errorf("engine: table %s has %d columns, got %d", t.Name, len(t.schema), len(cols))
+	}
+	n := -1
+	for i, c := range cols {
+		if c.Type != t.schema[i].Type {
+			return fmt.Errorf("engine: table %s column %s: type mismatch", t.Name, t.schema[i].Name)
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return fmt.Errorf("engine: table %s: ragged bulk load", t.Name)
+		}
+	}
+	t.recordVersionLocked()
+	t.cols = cols
+	t.version++
+	return nil
+}
+
+// maxTrackedCategories caps the distinct-set size tracked in statistics.
+const maxTrackedCategories = 256
+
+// Stats returns per-column statistics, recomputing them when the table
+// version changed since the last computation. These feed the
+// cross-optimizer's model-compression pass.
+func (t *Table) Stats() onnx.Stats {
+	t.mu.RLock()
+	if t.statsVersion == t.version {
+		s := t.stats
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.statsVersion == t.version {
+		return t.stats
+	}
+	stats := onnx.Stats{}
+	for i, m := range t.schema {
+		c := &t.cols[i]
+		switch m.Type {
+		case TypeInt:
+			if len(c.Ints) == 0 {
+				continue
+			}
+			mn, mx := c.Ints[0], c.Ints[0]
+			for _, v := range c.Ints {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			stats[m.Name] = onnx.ColumnStats{HasRange: true, Min: float64(mn), Max: float64(mx)}
+		case TypeFloat:
+			if len(c.Floats) == 0 {
+				continue
+			}
+			mn, mx := c.Floats[0], c.Floats[0]
+			for _, v := range c.Floats {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			stats[m.Name] = onnx.ColumnStats{HasRange: true, Min: mn, Max: mx}
+		case TypeString:
+			set := map[string]bool{}
+			tooMany := false
+			for _, v := range c.Strs {
+				if !set[v] {
+					set[v] = true
+					if len(set) > maxTrackedCategories {
+						tooMany = true
+						break
+					}
+				}
+			}
+			if !tooMany {
+				stats[m.Name] = onnx.ColumnStats{Categories: set}
+			}
+		}
+	}
+	t.stats = stats
+	t.statsVersion = t.version
+	return stats
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "repro/internal/notebooks"
+
+// Fig2Row is one point of the Figure-2 coverage curves.
+type Fig2Row struct {
+	K            int
+	Coverage2017 float64
+	Coverage2019 float64
+}
+
+// Fig2Result carries the curves plus the two headline annotations.
+type Fig2Result struct {
+	Rows         []Fig2Row
+	Packages2017 int
+	Packages2019 int
+	Top10Delta   float64 // percentage points gained at K=10 in 2019
+}
+
+// RunFigure2 regenerates the notebook coverage study.
+func RunFigure2() Fig2Result {
+	c17 := notebooks.Corpus2017()
+	c19 := notebooks.Corpus2019()
+	ks := notebooks.DefaultKs
+	cov17 := c17.Coverage(ks)
+	cov19 := c19.Coverage(ks)
+	res := Fig2Result{
+		Packages2017: c17.DistinctPackages(),
+		Packages2019: c19.DistinctPackages(),
+	}
+	for i, k := range ks {
+		res.Rows = append(res.Rows, Fig2Row{K: k, Coverage2017: cov17[i], Coverage2019: cov19[i]})
+		if k == 10 {
+			res.Top10Delta = (cov19[i] - cov17[i]) * 100
+		}
+	}
+	return res
+}

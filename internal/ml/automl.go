@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A small AutoML layer — candidate generation + k-fold cross-validated
+// selection — reproducing the paper's observation that AutoML is the third
+// wave of ML-systems work and depends on exactly the metadata the catalog
+// tracks (every trial is a model version with hyperparameters and metrics).
+
+// Candidate is one model configuration to try.
+type Candidate struct {
+	Name string
+	// New constructs a fresh, untrained predictor for each fold.
+	New func() Predictor
+}
+
+// Task selects the objective for model selection.
+type Task int
+
+// AutoML tasks.
+const (
+	TaskRegression     Task = iota // minimize RMSE
+	TaskClassification             // maximize accuracy
+)
+
+// TrialResult records one candidate's cross-validated performance.
+type TrialResult struct {
+	Name  string
+	Score float64 // higher is better (negative RMSE for regression)
+	Folds []float64
+}
+
+// DefaultCandidates returns a reasonable search space for the task.
+func DefaultCandidates(task Task) []Candidate {
+	if task == TaskRegression {
+		return []Candidate{
+			{Name: "linear", New: func() Predictor { return &LinearRegression{} }},
+			{Name: "tree-d4", New: func() Predictor { return &DecisionTree{MaxDepth: 4} }},
+			{Name: "tree-d8", New: func() Predictor { return &DecisionTree{MaxDepth: 8, MinLeaf: 5} }},
+			{Name: "gbm-50x3", New: func() Predictor { return &GradientBoosting{NTrees: 50, MaxDepth: 3} }},
+			{Name: "gbm-100x4", New: func() Predictor { return &GradientBoosting{NTrees: 100, MaxDepth: 4} }},
+		}
+	}
+	return []Candidate{
+		{Name: "logistic", New: func() Predictor { return &LogisticRegression{Epochs: 150} }},
+		{Name: "gbm-50x3", New: func() Predictor {
+			return &GradientBoosting{NTrees: 50, MaxDepth: 3, Loss: LossLogistic}
+		}},
+		{Name: "gbm-100x4", New: func() Predictor {
+			return &GradientBoosting{NTrees: 100, MaxDepth: 4, Loss: LossLogistic}
+		}},
+	}
+}
+
+// KFoldIndices deterministically partitions n rows into k folds.
+func KFoldIndices(n, k int, seed uint64) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	folds := make([][]int, k)
+	for i := 0; i < n; i++ {
+		f := int(splitmix(seed+uint64(i)) % uint64(k))
+		folds[f] = append(folds[f], i)
+	}
+	return folds
+}
+
+// CrossValidate scores one candidate with k-fold CV over a feature matrix.
+func CrossValidate(c Candidate, task Task, x *Matrix, y []float64, k int, seed uint64) (TrialResult, error) {
+	folds := KFoldIndices(x.Rows, k, seed)
+	res := TrialResult{Name: c.Name}
+	for fi, holdout := range folds {
+		if len(holdout) == 0 {
+			continue
+		}
+		inFold := make([]bool, x.Rows)
+		for _, i := range holdout {
+			inFold[i] = true
+		}
+		trainX := NewMatrix(0, x.Cols)
+		var trainY []float64
+		testX := NewMatrix(0, x.Cols)
+		var testY []float64
+		for i := 0; i < x.Rows; i++ {
+			if inFold[i] {
+				testX.Data = append(testX.Data, x.Row(i)...)
+				testX.Rows++
+				testY = append(testY, y[i])
+			} else {
+				trainX.Data = append(trainX.Data, x.Row(i)...)
+				trainX.Rows++
+				trainY = append(trainY, y[i])
+			}
+		}
+		model := c.New()
+		if err := model.Fit(trainX, trainY); err != nil {
+			return res, fmt.Errorf("ml: CrossValidate %s fold %d: %w", c.Name, fi, err)
+		}
+		pred := make([]float64, testX.Rows)
+		model.PredictInto(testX, pred)
+		var score float64
+		if task == TaskRegression {
+			score = -RMSE(pred, testY)
+		} else {
+			score = Accuracy(pred, testY)
+		}
+		res.Folds = append(res.Folds, score)
+	}
+	res.Score = Mean(res.Folds)
+	return res, nil
+}
+
+// AutoMLResult is the outcome of a search: the refit best pipeline plus
+// the full leaderboard (one TrialResult per candidate, best first).
+type AutoMLResult struct {
+	Best        *Pipeline
+	BestTrial   TrialResult
+	Leaderboard []TrialResult
+}
+
+// AutoML cross-validates every candidate over the featurized frame and
+// refits the winner on all data, returning a deployable pipeline.
+func AutoML(name string, feat *Featurizer, frame *Frame, y []float64,
+	task Task, candidates []Candidate, k int, seed uint64) (*AutoMLResult, error) {
+
+	if len(candidates) == 0 {
+		candidates = DefaultCandidates(task)
+	}
+	if err := frame.Validate(); err != nil {
+		return nil, err
+	}
+	if err := feat.Fit(frame); err != nil {
+		return nil, err
+	}
+	x, err := feat.Transform(frame)
+	if err != nil {
+		return nil, err
+	}
+	res := &AutoMLResult{}
+	for _, c := range candidates {
+		trial, err := CrossValidate(c, task, x, y, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Leaderboard = append(res.Leaderboard, trial)
+	}
+	sort.SliceStable(res.Leaderboard, func(i, j int) bool {
+		return res.Leaderboard[i].Score > res.Leaderboard[j].Score
+	})
+	res.BestTrial = res.Leaderboard[0]
+	var winner Candidate
+	for _, c := range candidates {
+		if c.Name == res.BestTrial.Name {
+			winner = c
+		}
+	}
+	best := winner.New()
+	if err := best.Fit(x, y); err != nil {
+		return nil, err
+	}
+	res.Best = NewPipeline(name, feat, best)
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateFairnessBalanced(t *testing.T) {
+	// Perfectly symmetric groups: zero gaps.
+	scores := []float64{0.9, 0.1, 0.9, 0.1}
+	y := []float64{1, 0, 1, 0}
+	groups := []string{"a", "a", "b", "b"}
+	rep, err := EvaluateFairness(scores, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DemographicParityGap != 0 || rep.EqualizedOddsGap != 0 {
+		t.Errorf("symmetric groups should have zero gaps: %+v", rep)
+	}
+	if len(rep.Groups) != 2 || rep.Groups[0].Group != "a" {
+		t.Errorf("groups = %+v", rep.Groups)
+	}
+}
+
+func TestEvaluateFairnessBiased(t *testing.T) {
+	// Group b never receives positive predictions despite positives.
+	scores := []float64{0.9, 0.9, 0.1, 0.1}
+	y := []float64{1, 0, 1, 0}
+	groups := []string{"a", "a", "b", "b"}
+	rep, err := EvaluateFairness(scores, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DemographicParityGap != 1 {
+		t.Errorf("parity gap = %v, want 1", rep.DemographicParityGap)
+	}
+	if rep.EqualizedOddsGap != 1 {
+		t.Errorf("odds gap = %v, want 1", rep.EqualizedOddsGap)
+	}
+}
+
+func TestEvaluateFairnessErrors(t *testing.T) {
+	if _, err := EvaluateFairness([]float64{1}, []float64{1, 2}, []string{"a"}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := EvaluateFairness(nil, nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestFeatureImportanceTree(t *testing.T) {
+	r := NewRand(31)
+	n := 400
+	x := NewMatrix(n, 4)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, r.NormFloat64())
+		}
+		y[i] = 10 * x.At(i, 2) // only feature 2 matters
+	}
+	g := &GradientBoosting{NTrees: 20, MaxDepth: 3}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := FeatureImportance(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sum = %v", sum)
+	}
+	for j := range imp {
+		if j != 2 && imp[j] > imp[2] {
+			t.Errorf("feature %d importance %v exceeds informative feature's %v", j, imp[j], imp[2])
+		}
+	}
+	if imp[2] < 0.5 {
+		t.Errorf("informative feature importance = %v, want dominant", imp[2])
+	}
+}
+
+func TestFeatureImportanceLinear(t *testing.T) {
+	lr := &LinearRegression{Weights: []float64{0, 3, -1}, Intercept: 1}
+	imp, err := FeatureImportance(lr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0] != 0 || imp[1] != 0.75 || imp[2] != 0.25 {
+		t.Errorf("importance = %v", imp)
+	}
+}
+
+func TestPipelineImportance(t *testing.T) {
+	r := NewRand(33)
+	n := 500
+	ages := make([]float64, n)
+	noise := make([]float64, n)
+	regions := make([]string, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ages[i] = r.Float64() * 100
+		noise[i] = r.NormFloat64()
+		regions[i] = []string{"x", "y"}[r.Intn(2)]
+		if ages[i] > 50 {
+			y[i] = 1
+		}
+	}
+	f := NewFrame().
+		AddNumeric("age", ages).
+		AddNumeric("noise", noise).
+		AddCategorical("region", regions)
+	p := NewPipeline("imp",
+		NewFeaturizer().
+			With("age", &StandardScaler{}).
+			With("noise", &StandardScaler{}).
+			With("region", &OneHotEncoder{}),
+		&GradientBoosting{NTrees: 20, MaxDepth: 3, Loss: LossLogistic})
+	if err := p.Fit(f, y); err != nil {
+		t.Fatal(err)
+	}
+	cols, err := PipelineImportance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0].Column != "age" {
+		t.Errorf("most important column = %s, want age (%+v)", cols[0].Column, cols)
+	}
+	if _, err := PipelineImportance(&Pipeline{}); err == nil {
+		t.Error("incomplete pipeline should error")
+	}
+}
+
+func TestPredictInterpretedMatchesBatch(t *testing.T) {
+	for _, pred := range []Predictor{
+		&LinearRegression{},
+		&LogisticRegression{Epochs: 30},
+		&DecisionTree{MaxDepth: 4},
+		&GradientBoosting{NTrees: 15, MaxDepth: 3, Loss: LossLogistic},
+	} {
+		r := NewRand(41)
+		n := 200
+		ages := make([]float64, n)
+		regions := make([]string, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ages[i] = r.Float64() * 100
+			regions[i] = []string{"x", "y", "z"}[r.Intn(3)]
+			if ages[i] > 50 {
+				y[i] = 1
+			}
+		}
+		f := NewFrame().AddNumeric("age", ages).AddCategorical("region", regions)
+		p := NewPipeline("i",
+			NewFeaturizer().With("age", &StandardScaler{}).With("region", &OneHotEncoder{}),
+			pred)
+		if err := p.Fit(f, y); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := p.PredictBatch(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interp, err := p.PredictInterpreted(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			if batch[i] != interp[i] {
+				t.Fatalf("%T: interpreted differs at row %d: %v vs %v", pred, i, interp[i], batch[i])
+			}
+		}
+	}
+}
+
+func TestKFoldIndices(t *testing.T) {
+	folds := KFoldIndices(100, 5, 9)
+	seen := map[int]bool{}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		for _, i := range f {
+			if seen[i] {
+				t.Fatal("row in two folds")
+			}
+			seen[i] = true
+		}
+	}
+	if total != 100 {
+		t.Fatalf("folds cover %d rows", total)
+	}
+	for fi, f := range folds {
+		if len(f) < 10 {
+			t.Errorf("fold %d suspiciously small: %d", fi, len(f))
+		}
+	}
+}
+
+func TestAutoMLSelectsNonlinearModel(t *testing.T) {
+	// XOR-ish target: linear cannot fit it, GBM can; AutoML must rank the
+	// GBM first.
+	r := NewRand(51)
+	n := 600
+	a := make([]float64, n)
+	b := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+		if (a[i] > 0) != (b[i] > 0) {
+			y[i] = 1
+		}
+	}
+	f := NewFrame().AddNumeric("a", a).AddNumeric("b", b)
+	feat := NewFeaturizer().With("a", &StandardScaler{}).With("b", &StandardScaler{})
+	res, err := AutoML("xor", feat, f, y, TaskClassification, nil, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leaderboard) != 3 {
+		t.Fatalf("leaderboard = %+v", res.Leaderboard)
+	}
+	if res.BestTrial.Name == "logistic" {
+		t.Errorf("AutoML picked the linear model on XOR: %+v", res.Leaderboard)
+	}
+	if res.BestTrial.Score < 0.85 {
+		t.Errorf("best CV accuracy = %v", res.BestTrial.Score)
+	}
+	// The refit winner is deployable.
+	pred, err := res.Best.PredictBatch(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, y); acc < 0.9 {
+		t.Errorf("refit accuracy = %v", acc)
+	}
+	// Leaderboard is sorted descending.
+	for i := 1; i < len(res.Leaderboard); i++ {
+		if res.Leaderboard[i].Score > res.Leaderboard[i-1].Score {
+			t.Error("leaderboard not sorted")
+		}
+	}
+}
+
+func TestAutoMLRegression(t *testing.T) {
+	x, y := synthLinear(300, 0.1, 61)
+	f := NewFrame().AddNumeric("a", colOf(x, 0)).AddNumeric("b", colOf(x, 1))
+	feat := NewFeaturizer().With("a", &StandardScaler{}).With("b", &StandardScaler{})
+	res, err := AutoML("lin", feat, f, y, TaskRegression, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a truly linear target the linear model should be at or near the
+	// top; at minimum it must beat the shallow tree.
+	rank := map[string]int{}
+	for i, tr := range res.Leaderboard {
+		rank[tr.Name] = i
+	}
+	if rank["linear"] > rank["tree-d4"] {
+		t.Errorf("linear ranked below a shallow tree on a linear target: %+v", res.Leaderboard)
+	}
+}
+
+func colOf(m *Matrix, j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}

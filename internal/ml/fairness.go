@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fairness metrics for binary classifiers — the responsible-AI layer the
+// paper's enterprise customers demand ("automate it, and don't get me
+// sued"): per-group rates, demographic parity and equalized-odds gaps.
+
+// GroupStats summarizes a classifier's behaviour on one protected group.
+type GroupStats struct {
+	Group        string
+	N            int
+	PositiveRate float64 // P(pred=1 | group)
+	TPR          float64 // P(pred=1 | y=1, group)
+	FPR          float64 // P(pred=1 | y=0, group)
+	BaseRate     float64 // P(y=1 | group)
+}
+
+// FairnessReport aggregates group stats and the standard gap metrics.
+type FairnessReport struct {
+	Groups []GroupStats
+	// DemographicParityGap is the max difference in positive rates
+	// between any two groups (0 is perfectly fair by this criterion).
+	DemographicParityGap float64
+	// EqualizedOddsGap is the max over (TPR gap, FPR gap).
+	EqualizedOddsGap float64
+}
+
+// EvaluateFairness thresholds scores at 0.5 and computes per-group rates
+// and gaps. groups assigns each row to a protected group.
+func EvaluateFairness(scores, y []float64, groups []string) (*FairnessReport, error) {
+	if len(scores) != len(y) || len(scores) != len(groups) {
+		return nil, fmt.Errorf("ml: EvaluateFairness: length mismatch %d/%d/%d",
+			len(scores), len(y), len(groups))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("ml: EvaluateFairness: empty input")
+	}
+	type counts struct {
+		n, pos, yPos, tp, fp int
+	}
+	byGroup := map[string]*counts{}
+	for i, s := range scores {
+		c := byGroup[groups[i]]
+		if c == nil {
+			c = &counts{}
+			byGroup[groups[i]] = c
+		}
+		c.n++
+		pred := s >= 0.5
+		actual := y[i] == 1
+		if pred {
+			c.pos++
+		}
+		if actual {
+			c.yPos++
+			if pred {
+				c.tp++
+			}
+		} else if pred {
+			c.fp++
+		}
+	}
+	rep := &FairnessReport{}
+	names := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		c := byGroup[g]
+		gs := GroupStats{Group: g, N: c.n}
+		gs.PositiveRate = float64(c.pos) / float64(c.n)
+		gs.BaseRate = float64(c.yPos) / float64(c.n)
+		if c.yPos > 0 {
+			gs.TPR = float64(c.tp) / float64(c.yPos)
+		}
+		if neg := c.n - c.yPos; neg > 0 {
+			gs.FPR = float64(c.fp) / float64(neg)
+		}
+		rep.Groups = append(rep.Groups, gs)
+	}
+	for i := range rep.Groups {
+		for j := i + 1; j < len(rep.Groups); j++ {
+			dp := abs(rep.Groups[i].PositiveRate - rep.Groups[j].PositiveRate)
+			if dp > rep.DemographicParityGap {
+				rep.DemographicParityGap = dp
+			}
+			eo := abs(rep.Groups[i].TPR - rep.Groups[j].TPR)
+			if f := abs(rep.Groups[i].FPR - rep.Groups[j].FPR); f > eo {
+				eo = f
+			}
+			if eo > rep.EqualizedOddsGap {
+				rep.EqualizedOddsGap = eo
+			}
+		}
+	}
+	return rep, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Explainability: feature and input-column importance, needed for the
+// paper's "interpret the predictions and answer questions such as whether
+// they were biased" requirement, and reused by the cross-optimizer story
+// (sparsity pruning drops exactly the zero-importance inputs).
+
+// FeatureImportance returns a weight per dense feature. For tree
+// ensembles it is split-frequency weighted by subtree size; for linear
+// models the absolute coefficient. Weights are normalized to sum to 1
+// (all-zero weights stay zero).
+func FeatureImportance(pred Predictor, numFeatures int) ([]float64, error) {
+	imp := make([]float64, numFeatures)
+	switch m := pred.(type) {
+	case *LinearRegression:
+		for i, w := range m.Weights {
+			if i < numFeatures {
+				imp[i] = abs(w)
+			}
+		}
+	case *LogisticRegression:
+		for i, w := range m.Weights {
+			if i < numFeatures {
+				imp[i] = abs(w)
+			}
+		}
+	case *DecisionTree:
+		treeImportance(m, imp)
+	case *GradientBoosting:
+		for _, t := range m.Trees {
+			treeImportance(t, imp)
+		}
+	default:
+		return nil, fmt.Errorf("ml: FeatureImportance: unsupported predictor %T", pred)
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp, nil
+}
+
+// treeImportance credits each split feature with the absolute value spread
+// between its children (a cheap proxy for variance gain).
+func treeImportance(t *DecisionTree, imp []float64) {
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			continue
+		}
+		f := int(n.Feature)
+		if f >= len(imp) {
+			continue
+		}
+		spread := abs(t.Nodes[n.Left].Value - t.Nodes[n.Right].Value)
+		imp[f] += spread + 1e-9 // every split counts at least a little
+	}
+}
+
+// ColumnImportance is one input column's aggregate importance.
+type ColumnImportance struct {
+	Column     string
+	Importance float64
+}
+
+// PipelineImportance aggregates per-feature importance back to the
+// pipeline's source columns (summing over each encoder's output block) and
+// returns them sorted descending.
+func PipelineImportance(p *Pipeline) ([]ColumnImportance, error) {
+	if p == nil || p.Feat == nil || p.Pred == nil {
+		return nil, fmt.Errorf("ml: PipelineImportance: incomplete pipeline")
+	}
+	imp, err := FeatureImportance(p.Pred, p.Feat.Width())
+	if err != nil {
+		return nil, err
+	}
+	var out []ColumnImportance
+	for _, slot := range p.Feat.Slots {
+		var sum float64
+		for j := 0; j < slot.Encoder.Width(); j++ {
+			sum += imp[slot.Offset+j]
+		}
+		out = append(out, ColumnImportance{Column: slot.ColName, Importance: sum})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Importance > out[j].Importance })
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package ml
+
+import "fmt"
+
+// PredictInterpreted scores the pipeline the way a dynamic-language runtime
+// does: every scalar is boxed, every operation dispatches on dynamic type,
+// and each row allocates its feature buffer. It produces bit-identical
+// results to PredictBatch while paying CPython-style interpretation costs —
+// this is the "scikit-learn" baseline of Figure 4 on a runtime that has no
+// interpreter of its own. (Go cannot be slowed down to CPython's 10-100x;
+// boxing + dynamic dispatch is the honest analog with the same asymptotics.)
+func (p *Pipeline) PredictInterpreted(f *Frame) ([]float64, error) {
+	cols, err := p.bindColumns(f)
+	if err != nil {
+		return nil, err
+	}
+	n := f.NumRows()
+	out := make([]float64, n)
+	scratch := make([]float64, p.Feat.Width())
+	for r := 0; r < n; r++ {
+		// Boxed feature vector: one heap value per feature.
+		boxed := make([]any, p.Feat.Width())
+		p.Feat.TransformRow(cols, r, scratch)
+		for j, v := range scratch {
+			boxed[j] = v
+		}
+		v, err := dynamicPredict(p.Pred, boxed)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// dynamicPredict walks the model with boxed values and per-step dynamic
+// dispatch.
+func dynamicPredict(pred Predictor, row []any) (float64, error) {
+	switch m := pred.(type) {
+	case *LinearRegression:
+		acc := any(float64(0))
+		for j, w := range m.Weights {
+			acc = addAny(acc, mulAny(w, row[j]))
+		}
+		return unbox(addAny(acc, m.Intercept))
+	case *LogisticRegression:
+		acc := any(float64(0))
+		for j, w := range m.Weights {
+			acc = addAny(acc, mulAny(w, row[j]))
+		}
+		z, err := unbox(addAny(acc, m.Intercept))
+		if err != nil {
+			return 0, err
+		}
+		return Sigmoid(z), nil
+	case *DecisionTree:
+		return dynamicTree(m, row)
+	case *GradientBoosting:
+		rate := m.LearningRate
+		if rate == 0 {
+			rate = 0.1
+		}
+		acc := any(m.Base)
+		for _, t := range m.Trees {
+			v, err := dynamicTree(t, row)
+			if err != nil {
+				return 0, err
+			}
+			acc = addAny(acc, mulAny(rate, v))
+		}
+		s, err := unbox(acc)
+		if err != nil {
+			return 0, err
+		}
+		if m.Loss == LossLogistic {
+			return Sigmoid(s), nil
+		}
+		return s, nil
+	default:
+		return 0, fmt.Errorf("ml: PredictInterpreted: unsupported predictor %T", pred)
+	}
+}
+
+func dynamicTree(t *DecisionTree, row []any) (float64, error) {
+	n := int32(0)
+	for {
+		node := &t.Nodes[n]
+		if node.IsLeaf() {
+			return node.Value, nil
+		}
+		less, err := lessAny(row[node.Feature], node.Threshold)
+		if err != nil {
+			return 0, err
+		}
+		if less {
+			n = node.Left
+		} else {
+			n = node.Right
+		}
+	}
+}
+
+// Boxed arithmetic with dynamic type dispatch — the interpreter's inner
+// loop.
+
+func addAny(a, b any) any {
+	af, ok1 := a.(float64)
+	bf, ok2 := b.(float64)
+	if ok1 && ok2 {
+		return af + bf
+	}
+	return nil
+}
+
+func mulAny(a, b any) any {
+	af, ok1 := a.(float64)
+	bf, ok2 := b.(float64)
+	if ok1 && ok2 {
+		return af * bf
+	}
+	return nil
+}
+
+func lessAny(a, b any) (bool, error) {
+	af, ok1 := a.(float64)
+	bf, ok2 := b.(float64)
+	if !ok1 || !ok2 {
+		return false, fmt.Errorf("ml: interpreted compare on non-float")
+	}
+	return af < bf, nil
+}
+
+func unbox(a any) (float64, error) {
+	f, ok := a.(float64)
+	if !ok {
+		return 0, fmt.Errorf("ml: interpreted arithmetic type error")
+	}
+	return f, nil
+}

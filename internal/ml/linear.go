@@ -1,0 +1,183 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Predictor is a trained (or trainable) model over dense feature matrices.
+// PredictInto is the batch path; PredictRow the interpreted row path used by
+// the scikit-learn-style Pipeline baseline.
+type Predictor interface {
+	Fit(x *Matrix, y []float64) error
+	PredictInto(x *Matrix, out []float64)
+	PredictRow(row []float64) float64
+}
+
+// LinearRegression fits y = w·x + b by ridge-regularized least squares
+// (normal equations solved with Cholesky).
+type LinearRegression struct {
+	// L2 is the ridge penalty; 0 means ordinary least squares. A tiny
+	// default is applied when the Gram matrix is singular.
+	L2 float64
+
+	Weights   []float64
+	Intercept float64
+}
+
+// Fit estimates weights and intercept from x, y.
+func (lr *LinearRegression) Fit(x *Matrix, y []float64) error {
+	if x.Rows != len(y) {
+		return fmt.Errorf("ml: LinearRegression.Fit: %d rows but %d targets", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: LinearRegression.Fit: empty training set")
+	}
+	// Augment with a bias column by folding the intercept into the system:
+	// solve over centered data, then recover the intercept from the means.
+	d := x.Cols
+	colMean := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			colMean[j] += v
+		}
+	}
+	for j := range colMean {
+		colMean[j] /= float64(x.Rows)
+	}
+	yMean := Mean(y)
+
+	// Gram matrix of centered X plus ridge term.
+	g := NewMatrix(d, d)
+	rhs := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		dy := y[i] - yMean
+		for a := 0; a < d; a++ {
+			va := row[a] - colMean[a]
+			if va == 0 {
+				continue
+			}
+			grow := g.Row(a)
+			for b := 0; b < d; b++ {
+				grow[b] += va * (row[b] - colMean[b])
+			}
+			rhs[a] += va * dy
+		}
+	}
+	l2 := lr.L2
+	for attempt := 0; ; attempt++ {
+		sys := g.Clone()
+		for j := 0; j < d; j++ {
+			sys.Set(j, j, sys.At(j, j)+l2)
+		}
+		w, err := SolveSPD(sys, rhs)
+		if err == nil {
+			lr.Weights = w
+			lr.Intercept = yMean - Dot(w, colMean)
+			return nil
+		}
+		if attempt >= 8 {
+			return fmt.Errorf("ml: LinearRegression.Fit: %w", err)
+		}
+		if l2 == 0 {
+			l2 = 1e-8
+		} else {
+			l2 *= 100
+		}
+	}
+}
+
+// PredictInto writes one prediction per row of x into out.
+func (lr *LinearRegression) PredictInto(x *Matrix, out []float64) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = lr.PredictRow(x.Row(i))
+	}
+}
+
+// PredictRow scores a single feature vector.
+func (lr *LinearRegression) PredictRow(row []float64) float64 {
+	return Dot(lr.Weights, row) + lr.Intercept
+}
+
+// LogisticRegression is a binary classifier trained with full-batch gradient
+// descent on the regularized log loss. Predictions are probabilities of the
+// positive class.
+type LogisticRegression struct {
+	// LearningRate defaults to 0.1, Epochs to 200, L2 to 1e-4 when zero.
+	LearningRate float64
+	Epochs       int
+	L2           float64
+
+	Weights   []float64
+	Intercept float64
+}
+
+func (lr *LogisticRegression) defaults() (rate float64, epochs int, l2 float64) {
+	rate, epochs, l2 = lr.LearningRate, lr.Epochs, lr.L2
+	if rate == 0 {
+		rate = 0.1
+	}
+	if epochs == 0 {
+		epochs = 200
+	}
+	if l2 == 0 {
+		l2 = 1e-4
+	}
+	return rate, epochs, l2
+}
+
+// Fit trains on x with binary labels y (values 0 or 1).
+func (lr *LogisticRegression) Fit(x *Matrix, y []float64) error {
+	if x.Rows != len(y) {
+		return fmt.Errorf("ml: LogisticRegression.Fit: %d rows but %d targets", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: LogisticRegression.Fit: empty training set")
+	}
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("ml: LogisticRegression.Fit: label %v is not binary", v)
+		}
+	}
+	rate, epochs, l2 := lr.defaults()
+	d := x.Cols
+	w := make([]float64, d)
+	var b float64
+	grad := make([]float64, d)
+	n := float64(x.Rows)
+	for e := 0; e < epochs; e++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		var gradB float64
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			p := Sigmoid(Dot(w, row) + b)
+			diff := p - y[i]
+			for j, v := range row {
+				grad[j] += diff * v
+			}
+			gradB += diff
+		}
+		for j := range w {
+			w[j] -= rate * (grad[j]/n + l2*w[j])
+		}
+		b -= rate * gradB / n
+	}
+	lr.Weights, lr.Intercept = w, b
+	return nil
+}
+
+// PredictInto writes positive-class probabilities into out.
+func (lr *LogisticRegression) PredictInto(x *Matrix, out []float64) {
+	for i := 0; i < x.Rows; i++ {
+		out[i] = lr.PredictRow(x.Row(i))
+	}
+}
+
+// PredictRow returns the positive-class probability for one feature vector.
+func (lr *LogisticRegression) PredictRow(row []float64) float64 {
+	return Sigmoid(Dot(lr.Weights, row) + lr.Intercept)
+}

@@ -1,0 +1,191 @@
+// Package monitor implements model monitoring — the Figure-3 capability the
+// paper finds missing from most third-party stacks and a prerequisite for
+// "as the underlying data evolves models need to be updated". A
+// ScoreMonitor snapshots the score distribution at deployment time and
+// computes Population Stability Index (PSI) drift against it in production;
+// alerts feed the policy engine or retraining automation.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBins is the histogram resolution.
+const DefaultBins = 10
+
+// DriftStatus classifies a PSI value using the conventional industry
+// thresholds.
+type DriftStatus int
+
+// Drift statuses.
+const (
+	Stable   DriftStatus = iota // PSI < 0.1
+	Moderate                    // 0.1 <= PSI < 0.25
+	Severe                      // PSI >= 0.25
+)
+
+func (s DriftStatus) String() string {
+	switch s {
+	case Stable:
+		return "stable"
+	case Moderate:
+		return "moderate-drift"
+	case Severe:
+		return "severe-drift"
+	default:
+		return fmt.Sprintf("DriftStatus(%d)", int(s))
+	}
+}
+
+// Snapshot is a binned score distribution.
+type Snapshot struct {
+	Edges  []float64 // len bins+1, quantile edges of the baseline
+	Counts []int
+	Total  int
+}
+
+// ScoreMonitor tracks one deployed model's score distribution.
+type ScoreMonitor struct {
+	Model string
+
+	mu       sync.Mutex
+	baseline Snapshot
+	window   []float64
+	windowN  int // max window size
+	alerts   []Alert
+}
+
+// Alert records a drift detection.
+type Alert struct {
+	At     time.Time
+	Model  string
+	PSI    float64
+	Status DriftStatus
+}
+
+// NewScoreMonitor builds a monitor from baseline scores (typically the
+// validation-set scores at deployment time). windowN bounds the sliding
+// production window (default 1000).
+func NewScoreMonitor(model string, baseline []float64, windowN int) (*ScoreMonitor, error) {
+	if len(baseline) < DefaultBins {
+		return nil, fmt.Errorf("monitor: need at least %d baseline scores, got %d", DefaultBins, len(baseline))
+	}
+	if windowN <= 0 {
+		windowN = 1000
+	}
+	m := &ScoreMonitor{Model: model, windowN: windowN}
+	m.baseline = binByQuantiles(baseline, DefaultBins)
+	return m, nil
+}
+
+// binByQuantiles builds bins with (approximately) equal baseline mass.
+func binByQuantiles(scores []float64, bins int) Snapshot {
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	edges := make([]float64, bins+1)
+	edges[0] = math.Inf(-1)
+	edges[bins] = math.Inf(1)
+	for b := 1; b < bins; b++ {
+		idx := b * len(sorted) / bins
+		edges[b] = sorted[idx]
+	}
+	snap := Snapshot{Edges: edges, Counts: make([]int, bins), Total: len(scores)}
+	for _, s := range scores {
+		snap.Counts[binOf(edges, s)]++
+	}
+	return snap
+}
+
+func binOf(edges []float64, v float64) int {
+	// edges[0] = -inf, edges[len-1] = +inf; find the first upper edge > v.
+	for b := 1; b < len(edges); b++ {
+		if v < edges[b] {
+			return b - 1
+		}
+	}
+	return len(edges) - 2
+}
+
+// Observe feeds production scores into the sliding window.
+func (m *ScoreMonitor) Observe(scores ...float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window = append(m.window, scores...)
+	if len(m.window) > m.windowN {
+		m.window = m.window[len(m.window)-m.windowN:]
+	}
+}
+
+// PSI computes the Population Stability Index of the current window
+// against the baseline. Returns an error when the window is too small for
+// a meaningful comparison.
+func (m *ScoreMonitor) PSI() (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.psiLocked()
+}
+
+func (m *ScoreMonitor) psiLocked() (float64, error) {
+	if len(m.window) < DefaultBins*5 {
+		return 0, fmt.Errorf("monitor: window too small (%d scores)", len(m.window))
+	}
+	bins := len(m.baseline.Counts)
+	cur := make([]int, bins)
+	for _, s := range m.window {
+		cur[binOf(m.baseline.Edges, s)]++
+	}
+	const eps = 1e-4
+	var psi float64
+	for b := 0; b < bins; b++ {
+		pBase := float64(m.baseline.Counts[b]) / float64(m.baseline.Total)
+		pCur := float64(cur[b]) / float64(len(m.window))
+		if pBase < eps {
+			pBase = eps
+		}
+		if pCur < eps {
+			pCur = eps
+		}
+		psi += (pCur - pBase) * math.Log(pCur/pBase)
+	}
+	return psi, nil
+}
+
+// Check computes PSI, records an alert when drift is non-stable, and
+// returns the status.
+func (m *ScoreMonitor) Check() (DriftStatus, float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	psi, err := m.psiLocked()
+	if err != nil {
+		return Stable, 0, err
+	}
+	status := Stable
+	switch {
+	case psi >= 0.25:
+		status = Severe
+	case psi >= 0.1:
+		status = Moderate
+	}
+	if status != Stable {
+		m.alerts = append(m.alerts, Alert{At: time.Now(), Model: m.Model, PSI: psi, Status: status})
+	}
+	return status, psi, nil
+}
+
+// Alerts returns the recorded drift alerts.
+func (m *ScoreMonitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
+
+// WindowSize reports the current window occupancy.
+func (m *ScoreMonitor) WindowSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.window)
+}

@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+)
+
+func baselineScores(n int, seed uint64) []float64 {
+	r := ml.NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = ml.Sigmoid(r.NormFloat64())
+	}
+	return out
+}
+
+func TestMonitorStableOnSameDistribution(t *testing.T) {
+	base := baselineScores(2000, 1)
+	m, err := NewScoreMonitor("churn", base, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(baselineScores(800, 2)...)
+	status, psi, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Stable {
+		t.Errorf("same distribution flagged as %v (PSI=%v)", status, psi)
+	}
+	if len(m.Alerts()) != 0 {
+		t.Errorf("alerts = %v", m.Alerts())
+	}
+}
+
+func TestMonitorDetectsShift(t *testing.T) {
+	base := baselineScores(2000, 3)
+	m, err := NewScoreMonitor("churn", base, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifted production distribution: scores pushed toward 1.
+	r := ml.NewRand(4)
+	shifted := make([]float64, 800)
+	for i := range shifted {
+		shifted[i] = ml.Sigmoid(r.NormFloat64() + 2)
+	}
+	m.Observe(shifted...)
+	status, psi, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Severe {
+		t.Errorf("large shift classified as %v (PSI=%v)", status, psi)
+	}
+	alerts := m.Alerts()
+	if len(alerts) != 1 || alerts[0].Model != "churn" {
+		t.Errorf("alerts = %+v", alerts)
+	}
+}
+
+func TestMonitorWindowSliding(t *testing.T) {
+	m, err := NewScoreMonitor("m", baselineScores(500, 5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(baselineScores(250, 6)...)
+	if m.WindowSize() != 100 {
+		t.Errorf("window = %d, want 100 (sliding)", m.WindowSize())
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	if _, err := NewScoreMonitor("m", []float64{0.1}, 10); err == nil {
+		t.Error("tiny baseline should error")
+	}
+	m, _ := NewScoreMonitor("m", baselineScores(100, 7), 100)
+	if _, err := m.PSI(); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestDriftStatusString(t *testing.T) {
+	if Stable.String() != "stable" || Moderate.String() != "moderate-drift" || Severe.String() != "severe-drift" {
+		t.Error("status labels changed")
+	}
+}
+
+// Property: PSI is non-negative and near zero when the window is an exact
+// replay of the baseline.
+func TestPSIProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		base := baselineScores(600, uint64(seed)+10)
+		m, err := NewScoreMonitor("p", base, 600)
+		if err != nil {
+			return false
+		}
+		m.Observe(base...)
+		psi, err := m.PSI()
+		if err != nil {
+			return false
+		}
+		return psi >= 0 && psi < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

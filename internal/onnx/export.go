@@ -1,0 +1,94 @@
+package onnx
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// Export converts a trained ml.Pipeline into a Graph. The conversion is
+// exact: a Session over the exported graph produces bit-identical scores to
+// Pipeline.PredictBatch (the paper's requirement that deployment "preserves
+// the exact behavior crafted by the data scientist").
+func Export(p *ml.Pipeline) (*Graph, error) {
+	if p == nil || p.Feat == nil || p.Pred == nil {
+		return nil, fmt.Errorf("onnx: Export: pipeline %q is incomplete", pipeName(p))
+	}
+	g := &Graph{Name: p.Name, Output: "score"}
+	for i := range p.Feat.Slots {
+		slot := &p.Feat.Slots[i]
+		node := FeatNode{Input: slot.ColName, Offset: slot.Offset}
+		var kind ColumnKind
+		switch enc := slot.Encoder.(type) {
+		case *ml.StandardScaler:
+			node.Op = OpScaler
+			node.Mean, node.Scale = enc.Mean, enc.Scale
+			kind = ml.KindNumeric
+		case *ml.OneHotEncoder:
+			node.Op = OpOneHot
+			node.Categories = append([]string(nil), enc.Categories...)
+			kind = ml.KindCategorical
+		case *ml.HashingVectorizer:
+			node.Op = OpHashText
+			node.Buckets = enc.Width()
+			kind = ml.KindText
+		default:
+			return nil, fmt.Errorf("onnx: Export: unsupported encoder %T on column %q", enc, slot.ColName)
+		}
+		g.Feats = append(g.Feats, node)
+		g.Inputs = append(g.Inputs, InputSpec{Name: slot.ColName, Kind: kind})
+	}
+
+	switch m := p.Pred.(type) {
+	case *ml.LinearRegression:
+		g.Model = ModelNode{Op: OpLinear, Coeff: append([]float64(nil), m.Weights...), Intercept: m.Intercept}
+	case *ml.LogisticRegression:
+		g.Model = ModelNode{Op: OpLinear, Coeff: append([]float64(nil), m.Weights...), Intercept: m.Intercept, PostSigmoid: true}
+	case *ml.DecisionTree:
+		g.Model = ModelNode{Op: OpTreeEnsemble, Trees: []Tree{exportTree(m)}, Base: 0, Rate: 1}
+	case *ml.GradientBoosting:
+		rate := m.LearningRate
+		if rate == 0 {
+			rate = 0.1
+		}
+		node := ModelNode{Op: OpTreeEnsemble, Base: m.Base, Rate: rate, PostSigmoid: m.Loss == ml.LossLogistic}
+		for _, t := range m.Trees {
+			node.Trees = append(node.Trees, exportTree(t))
+		}
+		g.Model = node
+	default:
+		return nil, fmt.Errorf("onnx: Export: unsupported predictor %T", m)
+	}
+
+	g.Relayout()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("onnx: Export produced an invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+func exportTree(t *ml.DecisionTree) Tree {
+	n := len(t.Nodes)
+	tr := Tree{
+		Feature:   make([]int32, n),
+		Threshold: make([]float64, n),
+		Left:      make([]int32, n),
+		Right:     make([]int32, n),
+		Value:     make([]float64, n),
+	}
+	for i, node := range t.Nodes {
+		tr.Feature[i] = node.Feature
+		tr.Threshold[i] = node.Threshold
+		tr.Left[i] = node.Left
+		tr.Right[i] = node.Right
+		tr.Value[i] = node.Value
+	}
+	return tr
+}
+
+func pipeName(p *ml.Pipeline) string {
+	if p == nil {
+		return "<nil>"
+	}
+	return p.Name
+}

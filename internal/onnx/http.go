@@ -1,0 +1,126 @@
+package onnx
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// Scorer is anything that can score a batch; implemented by Session-backed
+// wrappers, the in-memory RemoteScorer, and the HTTP-backed HTTPScorer.
+type Scorer interface {
+	Score(b *Batch) ([]float64, error)
+}
+
+// ScoringServer is a real HTTP scoring service on the loopback interface —
+// the containerized model deployment of §4.1, minus the container: requests
+// pay genuine TCP, HTTP and JSON costs.
+type ScoringServer struct {
+	URL  string
+	sess *Session
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeGraph starts a scoring service for g on 127.0.0.1:0 and returns
+// once it accepts connections. Close it when done.
+func ServeGraph(g *Graph) (*ScoringServer, error) {
+	sess, err := NewSession(g)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("onnx: scoring server: %w", err)
+	}
+	s := &ScoringServer{sess: sess, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/score", s.handleScore)
+	s.srv = &http.Server{Handler: mux}
+	s.URL = "http://" + ln.Addr().String() + "/score"
+	go func() {
+		// Serve exits with ErrServerClosed on Close; nothing to do.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+func (s *ScoringServer) handleScore(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	batch, err := decodeBatchJSON(s.sess.graph, body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	scores, err := s.sess.Run(batch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(scoreResponse{Scores: scores}); err != nil {
+		// The client will observe the truncated body.
+		return
+	}
+}
+
+// Close shuts the service down.
+func (s *ScoringServer) Close() error { return s.srv.Close() }
+
+// HTTPScorer scores batches against a ScoringServer endpoint, chunking
+// rows per request like a REST client would.
+type HTTPScorer struct {
+	url       string
+	graph     *Graph
+	chunkRows int
+	client    *http.Client
+}
+
+// NewHTTPScorer builds a client for the given endpoint. chunkRows defaults
+// to 1000.
+func NewHTTPScorer(g *Graph, url string, chunkRows int) *HTTPScorer {
+	if chunkRows <= 0 {
+		chunkRows = 1000
+	}
+	return &HTTPScorer{url: url, graph: g, chunkRows: chunkRows, client: &http.Client{}}
+}
+
+// Score POSTs the batch chunk by chunk and collects the scores.
+func (hs *HTTPScorer) Score(b *Batch) ([]float64, error) {
+	out := make([]float64, 0, b.N)
+	for lo := 0; lo < b.N; lo += hs.chunkRows {
+		hi := lo + hs.chunkRows
+		if hi > b.N {
+			hi = b.N
+		}
+		wire, err := encodeBatchJSON(hs.graph, sliceBatch(b, lo, hi))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hs.client.Post(hs.url, "application/json", bytes.NewReader(wire))
+		if err != nil {
+			return nil, fmt.Errorf("onnx: http scorer: %w", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("onnx: http scorer: %s: %s", resp.Status, body)
+		}
+		var sr scoreResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return nil, err
+		}
+		out = append(out, sr.Scores...)
+	}
+	return out, nil
+}

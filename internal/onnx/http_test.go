@@ -1,0 +1,131 @@
+package onnx
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestHTTPScoringMatchesLocal(t *testing.T) {
+	p, f, _ := trainedPipeline(t, &ml.GradientBoosting{NTrees: 10, Loss: ml.LossLogistic}, 300)
+	g, err := Export(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeGraph(g)
+	if err != nil {
+		t.Skipf("loopback listener unavailable: %v", err)
+	}
+	defer srv.Close()
+
+	sess, _ := NewSession(g)
+	b, _ := BatchFromFrame(g, f)
+	want, _ := sess.Run(b)
+
+	client := NewHTTPScorer(g, srv.URL, 100) // several requests per batch
+	got, err := client.Score(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scores = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HTTP score differs at row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHTTPScorerErrors(t *testing.T) {
+	p, f, _ := trainedPipeline(t, &ml.LinearRegression{}, 50)
+	g, _ := Export(p)
+	b, _ := BatchFromFrame(g, f)
+	// Dead endpoint.
+	client := NewHTTPScorer(g, "http://127.0.0.1:1/score", 0)
+	if _, err := client.Score(b); err == nil {
+		t.Error("dead endpoint should error")
+	}
+}
+
+func TestScoringServerRejectsBadRequests(t *testing.T) {
+	p, _, _ := trainedPipeline(t, &ml.LinearRegression{}, 50)
+	g, _ := Export(p)
+	srv, err := ServeGraph(g)
+	if err != nil {
+		t.Skipf("loopback listener unavailable: %v", err)
+	}
+	defer srv.Close()
+	// A request missing columns must come back as a client error, not a
+	// hang or a panic.
+	other, _, _ := trainedPipeline(t, &ml.LinearRegression{}, 10)
+	og, _ := Export(other)
+	og.Inputs = og.Inputs[:1]
+	og.Feats = og.Feats[:1]
+	og.Model.Coeff = og.Model.Coeff[:1]
+	og.Relayout()
+	client := NewHTTPScorer(og, srv.URL, 0)
+	fr := ml.NewFrame().AddNumeric("age", []float64{1, 2})
+	bb, err := BatchFromFrame(og, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Score(bb); err == nil {
+		t.Error("mismatched request should error")
+	}
+}
+
+func TestJSONWireRoundTrip(t *testing.T) {
+	p, f, _ := trainedPipeline(t, &ml.GradientBoosting{NTrees: 5}, 120)
+	g, _ := Export(p)
+	b, _ := BatchFromFrame(g, f)
+	wire, err := encodeBatchJSON(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeBatchJSON(g, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != b.N {
+		t.Fatalf("rows = %d, want %d", back.N, b.N)
+	}
+	sess, _ := NewSession(g)
+	want, _ := sess.Run(b)
+	got, _ := sess.Run(back)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("JSON round trip changed score at %d", i)
+		}
+	}
+	if _, err := decodeBatchJSON(g, []byte("{")); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestRemoteScorerJSONMatchesBinary(t *testing.T) {
+	p, f, _ := trainedPipeline(t, &ml.LogisticRegression{Epochs: 20}, 400)
+	g, _ := Export(p)
+	b, _ := BatchFromFrame(g, f)
+	bin, err := NewRemoteScorer(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := NewRemoteScorerJSON(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := bin.Score(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := js.Score(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("wire formats disagree at row %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package onnx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// RemoteScorer models today's best practice the paper criticizes: the model
+// runs in a separate scoring service, so every row must be exfiltrated from
+// the database, serialized over a wire, deserialized, scored, and the
+// results shipped back. We reproduce the costs (serialization, copies,
+// chunked transfer, single-threaded service) with an in-memory wire; the
+// network itself is the one piece we cannot ship in a library.
+type RemoteScorer struct {
+	sess      *Session
+	chunkRows int
+	json      bool
+}
+
+// NewRemoteScorer plans a session for g; chunkRows is the request batch
+// size of the scoring service (defaults to 1000, a typical REST payload cap).
+// The wire format is compact binary.
+func NewRemoteScorer(g *Graph, chunkRows int) (*RemoteScorer, error) {
+	sess, err := NewSession(g)
+	if err != nil {
+		return nil, err
+	}
+	if chunkRows <= 0 {
+		chunkRows = 1000
+	}
+	return &RemoteScorer{sess: sess, chunkRows: chunkRows}, nil
+}
+
+// NewRemoteScorerJSON is NewRemoteScorer with a JSON wire — the fidelity
+// mode for "applications invoking [containers] via HTTP/REST calls", where
+// every request and response is a JSON document.
+func NewRemoteScorerJSON(g *Graph, chunkRows int) (*RemoteScorer, error) {
+	rs, err := NewRemoteScorer(g, chunkRows)
+	if err != nil {
+		return nil, err
+	}
+	rs.json = true
+	return rs, nil
+}
+
+// Score ships the batch to the "service" chunk by chunk and collects the
+// scores. Each chunk pays full serialize/copy/deserialize costs both ways.
+func (rs *RemoteScorer) Score(b *Batch) ([]float64, error) {
+	out := make([]float64, 0, b.N)
+	for lo := 0; lo < b.N; lo += rs.chunkRows {
+		hi := lo + rs.chunkRows
+		if hi > b.N {
+			hi = b.N
+		}
+		chunk := sliceBatch(b, lo, hi)
+		var wire []byte
+		var err error
+		if rs.json {
+			wire, err = encodeBatchJSON(rs.sess.graph, chunk)
+		} else {
+			wire, err = encodeBatch(rs.sess.graph, chunk)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The wire: the request bytes are copied once (kernel send buffer
+		// analog) before the service reads them.
+		recv := append([]byte(nil), wire...)
+		var remote *Batch
+		if rs.json {
+			remote, err = decodeBatchJSON(rs.sess.graph, recv)
+		} else {
+			remote, err = decodeBatch(rs.sess.graph, recv)
+		}
+		if err != nil {
+			return nil, err
+		}
+		scores, err := rs.sess.Run(remote)
+		if err != nil {
+			return nil, err
+		}
+		var resp []byte
+		if rs.json {
+			resp, err = json.Marshal(scoreResponse{Scores: scores})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			resp = encodeScores(scores)
+		}
+		respRecv := append([]byte(nil), resp...)
+		var got []float64
+		if rs.json {
+			var sr scoreResponse
+			if err := json.Unmarshal(respRecv, &sr); err != nil {
+				return nil, err
+			}
+			got = sr.Scores
+		} else {
+			got, err = decodeScores(respRecv)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, got...)
+	}
+	return out, nil
+}
+
+func sliceBatch(b *Batch, lo, hi int) *Batch {
+	s := &Batch{N: hi - lo}
+	for _, c := range b.Cols {
+		var nc Column
+		if c.Nums != nil {
+			nc.Nums = c.Nums[lo:hi]
+		}
+		if c.Strs != nil {
+			nc.Strs = c.Strs[lo:hi]
+		}
+		s.Cols = append(s.Cols, nc)
+	}
+	return s
+}
+
+// encodeBatch writes a length-prefixed binary request: row count, then per
+// input column either raw float64 bits or length-prefixed strings.
+func encodeBatch(g *Graph, b *Batch) ([]byte, error) {
+	var buf bytes.Buffer
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(b.N))
+	buf.Write(scratch[:])
+	for i, in := range g.Inputs {
+		col := &b.Cols[i]
+		if in.Kind == ml.KindNumeric {
+			if len(col.Nums) < b.N {
+				return nil, fmt.Errorf("onnx: remote encode: column %q too short", in.Name)
+			}
+			for r := 0; r < b.N; r++ {
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(col.Nums[r]))
+				buf.Write(scratch[:])
+			}
+		} else {
+			if len(col.Strs) < b.N {
+				return nil, fmt.Errorf("onnx: remote encode: column %q too short", in.Name)
+			}
+			for r := 0; r < b.N; r++ {
+				binary.LittleEndian.PutUint64(scratch[:], uint64(len(col.Strs[r])))
+				buf.Write(scratch[:])
+				buf.WriteString(col.Strs[r])
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBatch(g *Graph, data []byte) (*Batch, error) {
+	rd := bytes.NewReader(data)
+	var scratch [8]byte
+	if _, err := io.ReadFull(rd, scratch[:]); err != nil {
+		return nil, fmt.Errorf("onnx: remote decode: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint64(scratch[:]))
+	b := &Batch{N: n}
+	for _, in := range g.Inputs {
+		var col Column
+		if in.Kind == ml.KindNumeric {
+			col.Nums = make([]float64, n)
+			for r := 0; r < n; r++ {
+				if _, err := io.ReadFull(rd, scratch[:]); err != nil {
+					return nil, fmt.Errorf("onnx: remote decode: %w", err)
+				}
+				col.Nums[r] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+			}
+		} else {
+			col.Strs = make([]string, n)
+			for r := 0; r < n; r++ {
+				if _, err := io.ReadFull(rd, scratch[:]); err != nil {
+					return nil, fmt.Errorf("onnx: remote decode: %w", err)
+				}
+				l := int(binary.LittleEndian.Uint64(scratch[:]))
+				sb := make([]byte, l)
+				if _, err := io.ReadFull(rd, sb); err != nil {
+					return nil, fmt.Errorf("onnx: remote decode: %w", err)
+				}
+				col.Strs[r] = string(sb)
+			}
+		}
+		b.Cols = append(b.Cols, col)
+	}
+	return b, nil
+}
+
+// JSON wire: one document per request with per-column arrays, the shape a
+// typical REST scoring endpoint accepts.
+
+type jsonRequest struct {
+	N    int              `json:"n"`
+	Cols map[string][]any `json:"cols"`
+}
+
+type scoreResponse struct {
+	Scores []float64 `json:"scores"`
+}
+
+func encodeBatchJSON(g *Graph, b *Batch) ([]byte, error) {
+	req := jsonRequest{N: b.N, Cols: map[string][]any{}}
+	for i, in := range g.Inputs {
+		col := &b.Cols[i]
+		vals := make([]any, b.N)
+		if in.Kind == ml.KindNumeric {
+			if len(col.Nums) < b.N {
+				return nil, fmt.Errorf("onnx: remote encode: column %q too short", in.Name)
+			}
+			for r := 0; r < b.N; r++ {
+				vals[r] = col.Nums[r]
+			}
+		} else {
+			if len(col.Strs) < b.N {
+				return nil, fmt.Errorf("onnx: remote encode: column %q too short", in.Name)
+			}
+			for r := 0; r < b.N; r++ {
+				vals[r] = col.Strs[r]
+			}
+		}
+		req.Cols[in.Name] = vals
+	}
+	return json.Marshal(req)
+}
+
+func decodeBatchJSON(g *Graph, data []byte) (*Batch, error) {
+	var req jsonRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("onnx: remote decode: %w", err)
+	}
+	b := &Batch{N: req.N}
+	for _, in := range g.Inputs {
+		vals, ok := req.Cols[in.Name]
+		if !ok || len(vals) != req.N {
+			return nil, fmt.Errorf("onnx: remote decode: column %q missing or short", in.Name)
+		}
+		var col Column
+		if in.Kind == ml.KindNumeric {
+			col.Nums = make([]float64, req.N)
+			for r, v := range vals {
+				f, ok := v.(float64)
+				if !ok {
+					return nil, fmt.Errorf("onnx: remote decode: column %q row %d is not numeric", in.Name, r)
+				}
+				col.Nums[r] = f
+			}
+		} else {
+			col.Strs = make([]string, req.N)
+			for r, v := range vals {
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("onnx: remote decode: column %q row %d is not a string", in.Name, r)
+				}
+				col.Strs[r] = s
+			}
+		}
+		b.Cols = append(b.Cols, col)
+	}
+	return b, nil
+}
+
+func encodeScores(scores []float64) []byte {
+	out := make([]byte, 8+8*len(scores))
+	binary.LittleEndian.PutUint64(out, uint64(len(scores)))
+	for i, s := range scores {
+		binary.LittleEndian.PutUint64(out[8+8*i:], math.Float64bits(s))
+	}
+	return out
+}
+
+func decodeScores(data []byte) ([]float64, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("onnx: remote decode: short score response")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if len(data) < 8+8*n {
+		return nil, fmt.Errorf("onnx: remote decode: truncated score response")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	return out, nil
+}

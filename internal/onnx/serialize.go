@@ -1,0 +1,54 @@
+package onnx
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Model serialization: graphs are stored as versioned binary blobs so the
+// registry can treat models as plain high-value data (versioned, audited,
+// backed up) — the paper's "models are best thought of as derived data".
+
+const (
+	formatMagic   = "FLCK"
+	formatVersion = 1
+)
+
+type wireGraph struct {
+	Version int
+	Graph   *Graph
+}
+
+// Marshal serializes a graph into a self-describing binary blob.
+func Marshal(g *Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(formatMagic)
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(wireGraph{Version: formatVersion, Graph: g}); err != nil {
+		return nil, fmt.Errorf("onnx: Marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes a graph blob produced by Marshal and validates it.
+func Unmarshal(data []byte) (*Graph, error) {
+	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
+		return nil, fmt.Errorf("onnx: Unmarshal: bad magic (not a model blob)")
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data[len(formatMagic):]))
+	var w wireGraph
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("onnx: Unmarshal: %w", err)
+	}
+	if w.Version != formatVersion {
+		return nil, fmt.Errorf("onnx: Unmarshal: unsupported format version %d", w.Version)
+	}
+	if w.Graph == nil {
+		return nil, fmt.Errorf("onnx: Unmarshal: empty graph")
+	}
+	if err := w.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("onnx: Unmarshal: invalid graph: %w", err)
+	}
+	return w.Graph, nil
+}

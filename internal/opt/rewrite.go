@@ -1,0 +1,157 @@
+package opt
+
+import (
+	"repro/internal/sql"
+)
+
+// SplitConjuncts flattens nested ANDs into a conjunct list.
+func SplitConjuncts(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sql.Binary); ok && b.Op == "AND" {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// AndAll rebuilds a conjunction from a conjunct list (nil for empty).
+func AndAll(preds []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, p := range preds {
+		if out == nil {
+			out = p
+		} else {
+			out = &sql.Binary{Op: "AND", L: out, R: p}
+		}
+	}
+	return out
+}
+
+// RewriteExpr returns a copy of e with fn applied bottom-up: fn receives
+// each copied node and may return a replacement. Subqueries are copied by
+// reference (the optimizer never rewrites inside them).
+func RewriteExpr(e sql.Expr, fn func(sql.Expr) sql.Expr) sql.Expr {
+	if e == nil {
+		return nil
+	}
+	var c sql.Expr
+	switch x := e.(type) {
+	case *sql.ColRef:
+		cp := *x
+		c = &cp
+	case *sql.Lit:
+		cp := *x
+		c = &cp
+	case *sql.Unary:
+		c = &sql.Unary{Op: x.Op, X: RewriteExpr(x.X, fn)}
+	case *sql.Binary:
+		c = &sql.Binary{Op: x.Op, L: RewriteExpr(x.L, fn), R: RewriteExpr(x.R, fn)}
+	case *sql.FuncCall:
+		nf := &sql.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			nf.Args = append(nf.Args, RewriteExpr(a, fn))
+		}
+		c = nf
+	case *sql.Predict:
+		np := &sql.Predict{Model: x.Model}
+		for _, a := range x.Args {
+			np.Args = append(np.Args, RewriteExpr(a, fn))
+		}
+		c = np
+	case *sql.Between:
+		c = &sql.Between{X: RewriteExpr(x.X, fn), Lo: RewriteExpr(x.Lo, fn), Hi: RewriteExpr(x.Hi, fn), Not: x.Not}
+	case *sql.InList:
+		ni := &sql.InList{X: RewriteExpr(x.X, fn), Sub: x.Sub, Not: x.Not}
+		for _, v := range x.List {
+			ni.List = append(ni.List, RewriteExpr(v, fn))
+		}
+		c = ni
+	case *sql.Exists:
+		c = &sql.Exists{Sub: x.Sub, Not: x.Not}
+	case *sql.Subquery:
+		c = &sql.Subquery{Sel: x.Sel}
+	case *sql.Like:
+		c = &sql.Like{X: RewriteExpr(x.X, fn), Pattern: RewriteExpr(x.Pattern, fn), Not: x.Not}
+	case *sql.IsNull:
+		c = &sql.IsNull{X: RewriteExpr(x.X, fn), Not: x.Not}
+	case *sql.Case:
+		nc := &sql.Case{Operand: RewriteExpr(x.Operand, fn), Else: RewriteExpr(x.Else, fn)}
+		for _, w := range x.Whens {
+			nc.Whens = append(nc.Whens, sql.When{Cond: RewriteExpr(w.Cond, fn), Then: RewriteExpr(w.Then, fn)})
+		}
+		c = nc
+	case *sql.Interval:
+		cp := *x
+		c = &cp
+	default:
+		c = e
+	}
+	if out := fn(c); out != nil {
+		return out
+	}
+	return c
+}
+
+// refsAny reports whether e references any of the given bare column names.
+func refsAny(e sql.Expr, names map[string]bool) bool {
+	found := false
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if cr, ok := x.(*sql.ColRef); ok && cr.Table == "" && names[cr.Name] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// qualifiers returns the set of table qualifiers referenced by e; bare
+// references contribute the empty string.
+func qualifiers(e sql.Expr) map[string]bool {
+	out := map[string]bool{}
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if cr, ok := x.(*sql.ColRef); ok {
+			out[cr.Table] = true
+		}
+		return true
+	})
+	return out
+}
+
+// hasSubquery reports whether e embeds any subquery.
+func hasSubquery(e sql.Expr) bool {
+	return len(sql.Subqueries(e)) > 0
+}
+
+// hasPredict reports whether e contains a PREDICT call.
+func hasPredict(e sql.Expr) bool {
+	found := false
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if _, ok := x.(*sql.Predict); ok {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isAggFunc reports whether the function name is an aggregate.
+func isAggFunc(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+// hasAggregate reports whether e contains an aggregate call.
+func hasAggregate(e sql.Expr) bool {
+	found := false
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if fc, ok := x.(*sql.FuncCall); ok && isAggFunc(fc.Name) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

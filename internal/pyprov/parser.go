@@ -1,0 +1,380 @@
+package pyprov
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The analyzer works line-by-line over a practical subset of Python:
+// imports, (possibly tuple-)assignments whose right-hand side is an
+// expression, and bare call statements. Expressions cover names, dotted
+// attributes, calls with positional/keyword arguments, subscripts, string
+// and numeric literals, lists and tuples — the shapes that dominate real
+// data-science scripts.
+
+// pyExpr is a parsed Python expression.
+type pyExpr interface{ py() }
+
+// pyName is an identifier.
+type pyName struct{ Name string }
+
+// pyAttr is base.attr.
+type pyAttr struct {
+	Base pyExpr
+	Attr string
+}
+
+// pyCall is fn(args..., kw=...).
+type pyCall struct {
+	Fn     pyExpr
+	Args   []pyExpr
+	Kwargs map[string]pyExpr
+}
+
+// pyStr is a string literal.
+type pyStr struct{ Val string }
+
+// pyNum is a numeric literal (kept as source text).
+type pyNum struct{ Val string }
+
+// pySub is base[index...].
+type pySub struct {
+	Base  pyExpr
+	Index []pyExpr
+}
+
+// pyList is [items...] or (items...).
+type pyList struct{ Items []pyExpr }
+
+func (*pyName) py() {}
+func (*pyAttr) py() {}
+func (*pyCall) py() {}
+func (*pyStr) py()  {}
+func (*pyNum) py()  {}
+func (*pySub) py()  {}
+func (*pyList) py() {}
+
+type pyToken struct {
+	kind string // name, str, num, op
+	text string
+}
+
+func pyLex(line string) ([]pyToken, error) {
+	var toks []pyToken
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '#':
+			i = len(line)
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(line) && line[j] != quote {
+				if line[j] == '\\' && j+1 < len(line) {
+					sb.WriteByte(line[j+1])
+					j += 2
+					continue
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("pyprov: unterminated string")
+			}
+			toks = append(toks, pyToken{"str", sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(line) && (line[j] >= '0' && line[j] <= '9' || line[j] == '.' || line[j] == 'e' || line[j] == '_') {
+				j++
+			}
+			toks = append(toks, pyToken{"num", line[i:j]})
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(line) && (line[j] == '_' || line[j] >= 'a' && line[j] <= 'z' ||
+				line[j] >= 'A' && line[j] <= 'Z' || line[j] >= '0' && line[j] <= '9') {
+				j++
+			}
+			toks = append(toks, pyToken{"name", line[i:j]})
+			i = j
+		default:
+			switch c {
+			case '(', ')', '[', ']', ',', '.', '=', '+', '-', '*', '/', ':', '{', '}', '%', '<', '>', '!', '&', '|':
+				toks = append(toks, pyToken{"op", string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("pyprov: unexpected character %q", c)
+			}
+		}
+	}
+	return toks, nil
+}
+
+type pyParser struct {
+	toks []pyToken
+	pos  int
+}
+
+func (p *pyParser) peek() pyToken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return pyToken{kind: "eof"}
+}
+
+func (p *pyParser) next() pyToken { t := p.peek(); p.pos++; return t }
+
+func (p *pyParser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == "op" && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseExpr parses a primary expression with postfix attribute, call and
+// subscript chains. Binary arithmetic degrades gracefully: "a + b" parses
+// as a with the rest ignored for provenance purposes — the analyzer only
+// needs roots, so we instead record both sides via parseExprList at
+// assignment level. Here we parse one operand.
+func (p *pyParser) parseExpr() (pyExpr, error) {
+	var base pyExpr
+	t := p.next()
+	switch t.kind {
+	case "name":
+		base = &pyName{Name: t.text}
+	case "str":
+		base = &pyStr{Val: t.text}
+	case "num":
+		base = &pyNum{Val: t.text}
+	case "op":
+		switch t.text {
+		case "[", "(":
+			closing := "]"
+			if t.text == "(" {
+				closing = ")"
+			}
+			lst := &pyList{}
+			for !p.acceptOp(closing) {
+				if p.peek().kind == "eof" {
+					return nil, fmt.Errorf("pyprov: unterminated list")
+				}
+				item, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lst.Items = append(lst.Items, item)
+				p.acceptOp(",")
+			}
+			base = lst
+		case "-":
+			return p.parseExpr() // unary minus: keep operand
+		default:
+			return nil, fmt.Errorf("pyprov: unexpected operator %q", t.text)
+		}
+	default:
+		return nil, fmt.Errorf("pyprov: unexpected token")
+	}
+	// Postfix chain.
+	for {
+		switch {
+		case p.acceptOp("."):
+			nt := p.next()
+			if nt.kind != "name" {
+				return nil, fmt.Errorf("pyprov: expected attribute name")
+			}
+			base = &pyAttr{Base: base, Attr: nt.text}
+		case p.acceptOp("("):
+			call := &pyCall{Fn: base, Kwargs: map[string]pyExpr{}}
+			for !p.acceptOp(")") {
+				if p.peek().kind == "eof" {
+					return nil, fmt.Errorf("pyprov: unterminated call")
+				}
+				// kwarg?
+				if p.peek().kind == "name" && p.pos+1 < len(p.toks) &&
+					p.toks[p.pos+1].kind == "op" && p.toks[p.pos+1].text == "=" {
+					key := p.next().text
+					p.next() // '='
+					val, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Kwargs[key] = val
+				} else {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+				}
+				p.acceptOp(",")
+			}
+			base = call
+		case p.acceptOp("["):
+			sub := &pySub{Base: base}
+			for !p.acceptOp("]") {
+				if p.peek().kind == "eof" {
+					return nil, fmt.Errorf("pyprov: unterminated subscript")
+				}
+				idx, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				sub.Index = append(sub.Index, idx)
+				p.acceptOp(",")
+				p.acceptOp(":")
+			}
+			base = sub
+		default:
+			return base, nil
+		}
+	}
+}
+
+// parsePyExpr parses a full right-hand side, tolerating trailing binary
+// operators by parsing and collecting each operand.
+func parsePyExpr(src string) ([]pyExpr, error) {
+	toks, err := pyLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &pyParser{toks: toks}
+	var out []pyExpr
+	for p.peek().kind != "eof" {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		// Skip a single binary operator between operands, if any.
+		if t := p.peek(); t.kind == "op" {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return out, nil
+}
+
+// dottedName flattens name/attr chains ("pd.read_sql" -> "pd.read_sql");
+// returns "" for non-name shapes.
+func dottedName(e pyExpr) string {
+	switch x := e.(type) {
+	case *pyName:
+		return x.Name
+	case *pyAttr:
+		base := dottedName(x.Base)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Attr
+	}
+	return ""
+}
+
+// rootName returns the leftmost identifier of an expression ("df" for
+// df.dropna().head()), or "".
+func rootName(e pyExpr) string {
+	switch x := e.(type) {
+	case *pyName:
+		return x.Name
+	case *pyAttr:
+		return rootName(x.Base)
+	case *pyCall:
+		return rootName(x.Fn)
+	case *pySub:
+		return rootName(x.Base)
+	}
+	return ""
+}
+
+// stringsIn collects string literals in an expression tree.
+func stringsIn(e pyExpr) []string {
+	var out []string
+	var walk func(pyExpr)
+	walk = func(x pyExpr) {
+		switch v := x.(type) {
+		case *pyStr:
+			out = append(out, v.Val)
+		case *pyAttr:
+			walk(v.Base)
+		case *pyCall:
+			walk(v.Fn)
+			for _, a := range v.Args {
+				walk(a)
+			}
+			for _, a := range v.Kwargs {
+				walk(a)
+			}
+		case *pySub:
+			walk(v.Base)
+			for _, a := range v.Index {
+				walk(a)
+			}
+		case *pyList:
+			for _, a := range v.Items {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// namesIn collects all identifiers referenced in an expression tree.
+func namesIn(e pyExpr) []string {
+	var out []string
+	var walk func(pyExpr)
+	walk = func(x pyExpr) {
+		switch v := x.(type) {
+		case *pyName:
+			out = append(out, v.Name)
+		case *pyAttr:
+			walk(v.Base)
+		case *pyCall:
+			walk(v.Fn)
+			for _, a := range v.Args {
+				walk(a)
+			}
+			for _, a := range v.Kwargs {
+				walk(a)
+			}
+		case *pySub:
+			walk(v.Base)
+			for _, a := range v.Index {
+				walk(a)
+			}
+		case *pyList:
+			for _, a := range v.Items {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// literalText renders a literal-ish expression for hyperparameter capture.
+func literalText(e pyExpr) string {
+	switch x := e.(type) {
+	case *pyStr:
+		return x.Val
+	case *pyNum:
+		return x.Val
+	case *pyName:
+		return x.Name
+	case *pyList:
+		var parts []string
+		for _, it := range x.Items {
+			parts = append(parts, literalText(it))
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	default:
+		return "<expr>"
+	}
+}

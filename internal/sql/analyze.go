@@ -1,0 +1,142 @@
+package sql
+
+import "sort"
+
+// Access summarizes which tables and columns a statement reads and writes,
+// plus the models it scores. This coarse-grained structural analysis is
+// what the eager provenance-capture mode extracts per query.
+type Access struct {
+	ReadTables  []string
+	WriteTables []string
+	// Columns maps table-or-alias qualifier ("" for unqualified) to the
+	// referenced column names.
+	Columns map[string][]string
+	Models  []string
+}
+
+// Analyze extracts the coarse-grained access summary of a statement.
+func Analyze(s Statement) Access {
+	a := &accessBuilder{
+		reads:  map[string]bool{},
+		writes: map[string]bool{},
+		cols:   map[string]map[string]bool{},
+		models: map[string]bool{},
+	}
+	a.statement(s)
+	return a.finish()
+}
+
+type accessBuilder struct {
+	reads, writes map[string]bool
+	cols          map[string]map[string]bool
+	models        map[string]bool
+}
+
+func (a *accessBuilder) finish() Access {
+	out := Access{Columns: map[string][]string{}}
+	out.ReadTables = sortedKeys(a.reads)
+	out.WriteTables = sortedKeys(a.writes)
+	out.Models = sortedKeys(a.models)
+	for q, set := range a.cols {
+		out.Columns[q] = sortedKeys(set)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *accessBuilder) statement(s Statement) {
+	switch st := s.(type) {
+	case *SelectStmt:
+		a.selectStmt(st)
+	case *InsertStmt:
+		a.writes[st.Table] = true
+		for _, c := range st.Columns {
+			a.col(st.Table, c)
+		}
+		for _, row := range st.Rows {
+			for _, e := range row {
+				a.expr(e)
+			}
+		}
+		if st.Query != nil {
+			a.selectStmt(st.Query)
+		}
+	case *UpdateStmt:
+		a.writes[st.Table] = true
+		a.reads[st.Table] = true
+		for _, sc := range st.Sets {
+			a.col(st.Table, sc.Column)
+			a.expr(sc.Value)
+		}
+		a.expr(st.Where)
+	case *DeleteStmt:
+		a.writes[st.Table] = true
+		a.reads[st.Table] = true
+		a.expr(st.Where)
+	case *CreateTableStmt:
+		a.writes[st.Table] = true
+		for _, c := range st.Columns {
+			a.col(st.Table, c.Name)
+		}
+	}
+}
+
+func (a *accessBuilder) selectStmt(s *SelectStmt) {
+	for _, f := range s.From {
+		if f.Sub != nil {
+			a.selectStmt(f.Sub)
+		} else if f.Table != "" {
+			a.reads[f.Table] = true
+		}
+		a.expr(f.On)
+	}
+	for _, it := range s.Items {
+		a.expr(it.Expr)
+	}
+	a.expr(s.Where)
+	for _, g := range s.GroupBy {
+		a.expr(g)
+	}
+	a.expr(s.Having)
+	for _, o := range s.OrderBy {
+		a.expr(o.Expr)
+	}
+}
+
+func (a *accessBuilder) col(qualifier, name string) {
+	set := a.cols[qualifier]
+	if set == nil {
+		set = map[string]bool{}
+		a.cols[qualifier] = set
+	}
+	set[name] = true
+}
+
+func (a *accessBuilder) expr(e Expr) {
+	if e == nil {
+		return
+	}
+	WalkExprs(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *ColRef:
+			a.col(n.Table, n.Name)
+		case *Predict:
+			a.models[n.Model] = true
+		}
+		return true
+	})
+	for _, sub := range Subqueries(e) {
+		a.selectStmt(sub)
+	}
+}

@@ -1,0 +1,294 @@
+package sql
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query (possibly nested).
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+// SelectItem is one projection: either Star, or Expr with an optional alias.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// JoinType distinguishes comma joins from explicit joins.
+type JoinType int
+
+// Join types. The first FROM item always has JoinNone.
+const (
+	JoinNone JoinType = iota
+	JoinComma
+	JoinInner
+	JoinLeft
+)
+
+// FromItem is one entry in the FROM clause: a base table or a subquery,
+// joined to the preceding items. Version requests a time-travel read of a
+// historical table snapshot ("FROM t VERSION 3"); -1 means current.
+type FromItem struct {
+	Table   string // empty when Sub != nil
+	Alias   string
+	Sub     *SelectStmt
+	Join    JoinType
+	On      Expr // for JoinInner / JoinLeft
+	Version int64
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO t (cols...) VALUES (...), (...) or
+// INSERT INTO t (cols...) SELECT ... (batch insert from a query).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Query   *SelectStmt // non-nil for INSERT ... SELECT
+}
+
+// UpdateStmt is UPDATE t SET c = e, ... WHERE p.
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM t WHERE p.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col type, ...).
+type CreateTableStmt struct {
+	Table   string
+	Columns []ColDef
+}
+
+// ColDef is one column declaration.
+type ColDef struct {
+	Name string
+	Type string // int, float, text, bool
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+
+// Expr is any scalar expression.
+type Expr interface{ expr() }
+
+// ColRef references a column, optionally qualified by table or alias.
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// LitKind classifies literal values.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitString
+	LitBool
+	LitNull
+)
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// Binary is a binary operation; Op is one of
+// AND OR = <> < <= > >= + - * / %.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// FuncCall is an aggregate or scalar function call.
+type FuncCall struct {
+	Name     string // lower-cased: count, sum, avg, min, max, substring, ...
+	Star     bool   // count(*)
+	Distinct bool
+	Args     []Expr
+}
+
+// Predict is the ML inference extension: PREDICT(model, arg...). It is a
+// first-class AST node so the optimizer can reason about it relationally.
+type Predict struct {
+	Model string
+	Args  []Expr
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// InList is x [NOT] IN (list...) or x [NOT] IN (subquery).
+type InList struct {
+	X    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+// Exists is [NOT] EXISTS (subquery).
+type Exists struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+// Subquery is a scalar subquery expression.
+type Subquery struct {
+	Sel *SelectStmt
+}
+
+// Like is x [NOT] LIKE pattern.
+type Like struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// When is one CASE branch.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+// Interval is INTERVAL 'n' unit, used in date arithmetic. Dates are modeled
+// as ISO-8601 strings; interval arithmetic is resolved by the engine.
+type Interval struct {
+	Value string
+	Unit  string // day, month, year
+}
+
+func (*ColRef) expr()   {}
+func (*Lit) expr()      {}
+func (*Unary) expr()    {}
+func (*Binary) expr()   {}
+func (*FuncCall) expr() {}
+func (*Predict) expr()  {}
+func (*Between) expr()  {}
+func (*InList) expr()   {}
+func (*Exists) expr()   {}
+func (*Subquery) expr() {}
+func (*Like) expr()     {}
+func (*IsNull) expr()   {}
+func (*Case) expr()     {}
+func (*Interval) expr() {}
+
+// WalkExprs calls fn for every expression node reachable from e (including
+// e itself), descending into subqueries' expressions only when descend is
+// true. fn returning false stops descent below that node.
+func WalkExprs(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Unary:
+		WalkExprs(x.X, fn)
+	case *Binary:
+		WalkExprs(x.L, fn)
+		WalkExprs(x.R, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	case *Predict:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	case *Between:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Lo, fn)
+		WalkExprs(x.Hi, fn)
+	case *InList:
+		WalkExprs(x.X, fn)
+		for _, v := range x.List {
+			WalkExprs(v, fn)
+		}
+	case *Like:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Pattern, fn)
+	case *IsNull:
+		WalkExprs(x.X, fn)
+	case *Case:
+		WalkExprs(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExprs(w.Cond, fn)
+			WalkExprs(w.Then, fn)
+		}
+		WalkExprs(x.Else, fn)
+	}
+}
+
+// Subqueries returns the immediate subqueries embedded in e (IN, EXISTS and
+// scalar subqueries).
+func Subqueries(e Expr) []*SelectStmt {
+	var subs []*SelectStmt
+	WalkExprs(e, func(x Expr) bool {
+		switch s := x.(type) {
+		case *InList:
+			if s.Sub != nil {
+				subs = append(subs, s.Sub)
+			}
+		case *Exists:
+			subs = append(subs, s.Sub)
+		case *Subquery:
+			subs = append(subs, s.Sel)
+		}
+		return true
+	})
+	return subs
+}

@@ -1,0 +1,354 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatStatement renders a statement back to SQL text. The output reparses
+// to a structurally identical AST (verified by property tests), which the
+// provenance module relies on when storing query text in the catalog.
+func FormatStatement(s Statement) string {
+	var b strings.Builder
+	writeStatement(&b, s)
+	return b.String()
+}
+
+// FormatExpr renders an expression to SQL text.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeStatement(b *strings.Builder, s Statement) {
+	switch st := s.(type) {
+	case *SelectStmt:
+		writeSelect(b, st)
+	case *InsertStmt:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(st.Table)
+		if len(st.Columns) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(st.Columns, ", "))
+			b.WriteString(")")
+		}
+		if st.Query != nil {
+			b.WriteString(" ")
+			writeSelect(b, st.Query)
+			return
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range st.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, e)
+			}
+			b.WriteString(")")
+		}
+	case *UpdateStmt:
+		b.WriteString("UPDATE ")
+		b.WriteString(st.Table)
+		b.WriteString(" SET ")
+		for i, sc := range st.Sets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sc.Column)
+			b.WriteString(" = ")
+			writeExpr(b, sc.Value)
+		}
+		if st.Where != nil {
+			b.WriteString(" WHERE ")
+			writeExpr(b, st.Where)
+		}
+	case *DeleteStmt:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(st.Table)
+		if st.Where != nil {
+			b.WriteString(" WHERE ")
+			writeExpr(b, st.Where)
+		}
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(st.Table)
+		b.WriteString(" (")
+		for i, c := range st.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Name)
+			b.WriteString(" ")
+			b.WriteString(c.Type)
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "/* unknown statement %T */", s)
+	}
+}
+
+func writeSelect(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		writeExpr(b, it.Expr)
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, f := range s.From {
+			switch f.Join {
+			case JoinNone:
+			case JoinComma:
+				b.WriteString(", ")
+			case JoinInner:
+				b.WriteString(" JOIN ")
+			case JoinLeft:
+				b.WriteString(" LEFT JOIN ")
+			}
+			if f.Sub != nil {
+				b.WriteString("(")
+				writeSelect(b, f.Sub)
+				b.WriteString(")")
+			} else {
+				b.WriteString(f.Table)
+				if f.Version >= 0 {
+					b.WriteString(" VERSION ")
+					b.WriteString(strconv.FormatInt(f.Version, 10))
+				}
+			}
+			if f.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(f.Alias)
+			}
+			if f.On != nil {
+				b.WriteString(" ON ")
+				writeExpr(b, f.On)
+			}
+			_ = i
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		writeExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, e)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		writeExpr(b, s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+}
+
+// writeOperand renders the left operand of a postfix predicate (BETWEEN,
+// IN, LIKE), parenthesizing unary expressions so the predicate cannot
+// rebind inside them on reparse.
+func writeOperand(b *strings.Builder, e Expr) {
+	if _, ok := e.(*Unary); ok {
+		b.WriteString("(")
+		writeExpr(b, e)
+		b.WriteString(")")
+		return
+	}
+	writeExpr(b, e)
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(x.Name)
+	case *Lit:
+		switch x.Kind {
+		case LitInt:
+			b.WriteString(strconv.FormatInt(x.I, 10))
+		case LitFloat:
+			s := strconv.FormatFloat(x.F, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			b.WriteString(s)
+		case LitString:
+			b.WriteString("'")
+			b.WriteString(strings.ReplaceAll(x.S, "'", "''"))
+			b.WriteString("'")
+		case LitBool:
+			if x.B {
+				b.WriteString("TRUE")
+			} else {
+				b.WriteString("FALSE")
+			}
+		case LitNull:
+			b.WriteString("NULL")
+		}
+	case *Unary:
+		if x.Op == "NOT" {
+			b.WriteString("NOT (")
+			writeExpr(b, x.X)
+			b.WriteString(")")
+		} else {
+			b.WriteString("-(")
+			writeExpr(b, x.X)
+			b.WriteString(")")
+		}
+	case *Binary:
+		b.WriteString("(")
+		writeExpr(b, x.L)
+		b.WriteString(" ")
+		b.WriteString(x.Op)
+		b.WriteString(" ")
+		writeExpr(b, x.R)
+		b.WriteString(")")
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		if x.Star {
+			b.WriteString("*")
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, a)
+			}
+		}
+		b.WriteString(")")
+	case *Predict:
+		b.WriteString("PREDICT(")
+		b.WriteString(x.Model)
+		for _, a := range x.Args {
+			b.WriteString(", ")
+			writeExpr(b, a)
+		}
+		b.WriteString(")")
+	case *Between:
+		b.WriteString("(")
+		writeOperand(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		writeExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		writeExpr(b, x.Hi)
+		b.WriteString(")")
+	case *InList:
+		b.WriteString("(")
+		writeOperand(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Sub != nil {
+			writeSelect(b, x.Sub)
+		} else {
+			for i, v := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, v)
+			}
+		}
+		b.WriteString("))")
+	case *Exists:
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		writeSelect(b, x.Sub)
+		b.WriteString(")")
+	case *Subquery:
+		b.WriteString("(")
+		writeSelect(b, x.Sel)
+		b.WriteString(")")
+	case *Like:
+		b.WriteString("(")
+		writeOperand(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		writeExpr(b, x.Pattern)
+		b.WriteString(")")
+	case *IsNull:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		b.WriteString(" IS ")
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL)")
+	case *Case:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteString(" ")
+			writeExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			writeExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			writeExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			writeExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *Interval:
+		b.WriteString("INTERVAL '")
+		b.WriteString(x.Value)
+		b.WriteString("' ")
+		b.WriteString(x.Unit)
+	default:
+		fmt.Fprintf(b, "/* unknown expr %T */", e)
+	}
+}

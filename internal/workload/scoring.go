@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/ml"
+)
+
+// The Figure-4 scoring workload: a customer table with numeric,
+// categorical and text features, plus a GBM-over-featurizers training
+// pipeline — the "practical end-to-end prediction pipeline composed of a
+// larger variety of operators (featurizers such as text encoding and
+// models such as decision trees)" of §4.1.
+
+// ScoringConfig shapes the synthetic customer population.
+type ScoringConfig struct {
+	Rows int
+	Seed uint64
+	// Regions is the category cardinality stored in the table; the model
+	// is trained over a super-set, so stats-driven compression has
+	// something to drop.
+	Regions int
+	// WithText adds a free-text column scored via the hashing featurizer.
+	WithText bool
+}
+
+var regionNames = []string{
+	"us-east", "us-west", "eu-north", "eu-south", "apac", "latam",
+	"mea", "anz", "india", "japan", "brazil", "canada",
+}
+
+var notePhrases = []string{
+	"pays on time", "late payment flagged", "disputed charge", "loyal customer",
+	"requested credit increase", "support escalation", "",
+}
+
+// ScoringColumns generates the raw columns of the customer population.
+func ScoringColumns(cfg ScoringConfig) (ids []int64, ages, income []float64, tenure []float64, regions, notes []string, labels []float64) {
+	if cfg.Regions <= 0 || cfg.Regions > len(regionNames) {
+		cfg.Regions = 6
+	}
+	r := ml.NewRand(cfg.Seed)
+	n := cfg.Rows
+	ids = make([]int64, n)
+	ages = make([]float64, n)
+	income = make([]float64, n)
+	tenure = make([]float64, n)
+	regions = make([]string, n)
+	notes = make([]string, n)
+	labels = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i + 1)
+		ages[i] = 18 + r.Float64()*62
+		income[i] = 15000 + r.Float64()*185000
+		tenure[i] = r.Float64() * 20
+		regions[i] = regionNames[r.Intn(cfg.Regions)]
+		notes[i] = notePhrases[r.Intn(len(notePhrases))]
+		score := (ages[i]-49)/15 + (income[i]-105000)/60000 + (tenure[i]-10)/8
+		switch regions[i] {
+		case "us-east", "eu-north":
+			score += 0.8
+		case "apac", "latam":
+			score -= 0.5
+		}
+		if notes[i] == "late payment flagged" || notes[i] == "disputed charge" {
+			score -= 0.7
+		}
+		score += r.NormFloat64() * 0.4
+		if score > 0 {
+			labels[i] = 1
+		}
+	}
+	return ids, ages, income, tenure, regions, notes, labels
+}
+
+// LoadScoringTable creates table `customers` in db with the generated
+// population (bulk load, no per-row SQL).
+func LoadScoringTable(db *engine.DB, cfg ScoringConfig) error {
+	ids, ages, income, tenure, regions, notes, _ := ScoringColumns(cfg)
+	names := []string{"id", "age", "income", "tenure", "region"}
+	cols := []engine.Column{
+		engine.IntColumn(ids),
+		engine.FloatColumn(ages),
+		engine.FloatColumn(income),
+		engine.FloatColumn(tenure),
+		engine.StringColumn(regions),
+	}
+	if cfg.WithText {
+		names = append(names, "notes")
+		cols = append(cols, engine.StringColumn(notes))
+	}
+	if _, err := db.CreateTableFromColumns("customers", names, cols); err != nil {
+		return fmt.Errorf("workload: loading scoring table: %w", err)
+	}
+	return nil
+}
+
+// TrainScoringPipeline fits the Figure-4 pipeline on a training population
+// drawn over ALL regions (a superset of what any one table stores) so that
+// the deployed model carries categories and feature ranges the
+// cross-optimizer can specialize away.
+func TrainScoringPipeline(trainRows int, seed uint64, nTrees int, withText bool) (*ml.Pipeline, error) {
+	cfg := ScoringConfig{Rows: trainRows, Seed: seed, Regions: len(regionNames), WithText: withText}
+	_, ages, income, tenure, regions, notes, labels := ScoringColumns(cfg)
+	f := ml.NewFrame().
+		AddNumeric("age", ages).
+		AddNumeric("income", income).
+		AddNumeric("tenure", tenure).
+		AddCategorical("region", regions)
+	feat := ml.NewFeaturizer().
+		With("age", &ml.StandardScaler{}).
+		With("income", &ml.StandardScaler{}).
+		With("tenure", &ml.StandardScaler{}).
+		With("region", &ml.OneHotEncoder{})
+	if withText {
+		f.AddText("notes", notes)
+		feat.With("notes", &ml.HashingVectorizer{Buckets: 32})
+	}
+	if nTrees <= 0 {
+		nTrees = 100
+	}
+	pipe := ml.NewPipeline("churn", feat,
+		&ml.GradientBoosting{NTrees: nTrees, MaxDepth: 4, Loss: ml.LossLogistic})
+	if err := pipe.Fit(f, labels); err != nil {
+		return nil, err
+	}
+	return pipe, nil
+}
+
+// ScoringFrame builds an ml.Frame view of the same population (for the
+// standalone scikit-learn and ORT configurations, which read exported
+// files rather than the DBMS).
+func ScoringFrame(cfg ScoringConfig) (*ml.Frame, []float64) {
+	_, ages, income, tenure, regions, notes, labels := ScoringColumns(cfg)
+	f := ml.NewFrame().
+		AddNumeric("age", ages).
+		AddNumeric("income", income).
+		AddNumeric("tenure", tenure).
+		AddCategorical("region", regions)
+	if cfg.WithText {
+		f.AddText("notes", notes)
+	}
+	return f, labels
+}

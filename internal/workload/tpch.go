@@ -1,0 +1,248 @@
+// Package workload provides the workload generators behind the paper's
+// experiments: TPC-H-style analytical query templates and TPC-C-style
+// transaction templates (driving the provenance-capture study), plus the
+// synthetic scoring table and pipeline used by the in-DB inference
+// experiments (Figure 4).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// TPCHSchema is the DDL for the (simplified) TPC-H schema; column names
+// follow the standard.
+var TPCHSchema = []string{
+	`CREATE TABLE region (r_regionkey int, r_name text, r_comment text)`,
+	`CREATE TABLE nation (n_nationkey int, n_name text, n_regionkey int, n_comment text)`,
+	`CREATE TABLE supplier (s_suppkey int, s_name text, s_address text, s_nationkey int, s_phone text, s_acctbal float, s_comment text)`,
+	`CREATE TABLE customer (c_custkey int, c_name text, c_address text, c_nationkey int, c_phone text, c_acctbal float, c_mktsegment text, c_comment text)`,
+	`CREATE TABLE part (p_partkey int, p_name text, p_mfgr text, p_brand text, p_type text, p_size int, p_container text, p_retailprice float, p_comment text)`,
+	`CREATE TABLE partsupp (ps_partkey int, ps_suppkey int, ps_availqty int, ps_supplycost float, ps_comment text)`,
+	`CREATE TABLE orders (o_orderkey int, o_custkey int, o_orderstatus text, o_totalprice float, o_orderdate text, o_orderpriority text, o_clerk text, o_shippriority int, o_comment text)`,
+	`CREATE TABLE lineitem (l_orderkey int, l_partkey int, l_suppkey int, l_linenumber int, l_quantity float, l_extendedprice float, l_discount float, l_tax float, l_returnflag text, l_linestatus text, l_shipdate text, l_commitdate text, l_receiptdate text, l_shipinstruct text, l_shipmode text, l_comment text)`,
+}
+
+// TPCHParams seeds template parameter generation for one round.
+type TPCHParams struct {
+	rng *ml.Rand
+}
+
+// NewTPCHParams creates a parameter generator.
+func NewTPCHParams(seed uint64) *TPCHParams { return &TPCHParams{rng: ml.NewRand(seed)} }
+
+func (p *TPCHParams) date(yearLo, yearHi int) string {
+	y := yearLo + p.rng.Intn(yearHi-yearLo+1)
+	m := 1 + p.rng.Intn(12)
+	return fmt.Sprintf("%04d-%02d-01", y, m)
+}
+
+func (p *TPCHParams) pick(vals ...string) string { return vals[p.rng.Intn(len(vals))] }
+
+func (p *TPCHParams) intIn(lo, hi int) int { return lo + p.rng.Intn(hi-lo+1) }
+
+// TPCHQuery renders query template q (1..22) with fresh parameters. The
+// templates follow the standard's structure (simplified to the engine's
+// grammar: EXTRACT becomes substring, nested aggregate views are inlined).
+func TPCHQuery(q int, p *TPCHParams) string {
+	switch q {
+	case 1:
+		return fmt.Sprintf(`SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty,
+ sum(l_extendedprice) AS sum_base_price,
+ sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+ sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+ avg(l_quantity) AS avg_qty, avg(l_extendedprice) AS avg_price, avg(l_discount) AS avg_disc,
+ count(*) AS count_order
+ FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '%d' day
+ GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`, p.intIn(60, 120))
+	case 2:
+		return fmt.Sprintf(`SELECT s.s_acctbal, s.s_name, n.n_name, pa.p_partkey, pa.p_mfgr, s.s_address, s.s_phone, s.s_comment
+ FROM part pa, supplier s, partsupp ps, nation n, region r
+ WHERE pa.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey AND pa.p_size = %d
+ AND pa.p_type LIKE '%%%s' AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+ AND r.r_name = '%s'
+ AND ps.ps_supplycost = (SELECT min(ps2.ps_supplycost) FROM partsupp ps2, supplier s2, nation n2, region r2
+ WHERE pa.p_partkey = ps2.ps_partkey AND s2.s_suppkey = ps2.ps_suppkey
+ AND s2.s_nationkey = n2.n_nationkey AND n2.n_regionkey = r2.r_regionkey AND r2.r_name = '%s')
+ ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, pa.p_partkey LIMIT 100`,
+			p.intIn(1, 50), p.pick("BRASS", "STEEL", "COPPER", "TIN"), p.pick("EUROPE", "ASIA", "AMERICA"), p.pick("EUROPE", "ASIA", "AMERICA"))
+	case 3:
+		return fmt.Sprintf(`SELECT l.l_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+ o.o_orderdate, o.o_shippriority
+ FROM customer c, orders o, lineitem l
+ WHERE c.c_mktsegment = '%s' AND c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+ AND o.o_orderdate < DATE '%s' AND l.l_shipdate > DATE '%s'
+ GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+ ORDER BY revenue DESC, o.o_orderdate LIMIT 10`,
+			p.pick("BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"), p.date(1995, 1995), p.date(1995, 1995))
+	case 4:
+		d := p.date(1993, 1997)
+		return fmt.Sprintf(`SELECT o_orderpriority, count(*) AS order_count FROM orders
+ WHERE o_orderdate >= DATE '%s' AND o_orderdate < DATE '%s' + INTERVAL '3' month
+ AND EXISTS (SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+ GROUP BY o_orderpriority ORDER BY o_orderpriority`, d, d)
+	case 5:
+		d := p.date(1993, 1997)
+		return fmt.Sprintf(`SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+ FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+ WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey AND l.l_suppkey = s.s_suppkey
+ AND c.c_nationkey = s.s_nationkey AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+ AND r.r_name = '%s' AND o.o_orderdate >= DATE '%s' AND o.o_orderdate < DATE '%s' + INTERVAL '1' year
+ GROUP BY n.n_name ORDER BY revenue DESC`, p.pick("ASIA", "EUROPE", "AMERICA", "AFRICA"), d, d)
+	case 6:
+		d := p.date(1993, 1997)
+		disc := float64(p.intIn(2, 9)) / 100
+		return fmt.Sprintf(`SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem
+ WHERE l_shipdate >= DATE '%s' AND l_shipdate < DATE '%s' + INTERVAL '1' year
+ AND l_discount BETWEEN %g AND %g AND l_quantity < %d`, d, d, disc-0.01, disc+0.01, p.intIn(24, 25))
+	case 7:
+		return fmt.Sprintf(`SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+ substring(l.l_shipdate, 1, 4) AS l_year, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+ FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+ WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey AND c.c_custkey = o.o_custkey
+ AND s.s_nationkey = n1.n_nationkey AND c.c_nationkey = n2.n_nationkey
+ AND n1.n_name = '%s' AND n2.n_name = '%s'
+ AND l.l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+ GROUP BY n1.n_name, n2.n_name, substring(l.l_shipdate, 1, 4)
+ ORDER BY supp_nation, cust_nation, l_year`, p.pick("FRANCE", "GERMANY"), p.pick("GERMANY", "FRANCE"))
+	case 8:
+		return fmt.Sprintf(`SELECT substring(o.o_orderdate, 1, 4) AS o_year,
+ sum(CASE WHEN n2.n_name = '%s' THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) / sum(l.l_extendedprice * (1 - l.l_discount)) AS mkt_share
+ FROM part pa, supplier s, lineitem l, orders o, customer c, nation n1, nation n2, region r
+ WHERE pa.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey AND l.l_orderkey = o.o_orderkey
+ AND o.o_custkey = c.c_custkey AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+ AND r.r_name = '%s' AND s.s_nationkey = n2.n_nationkey
+ AND o.o_orderdate BETWEEN '1995-01-01' AND '1996-12-31' AND pa.p_type = '%s'
+ GROUP BY substring(o.o_orderdate, 1, 4) ORDER BY o_year`,
+			p.pick("BRAZIL", "INDIA"), p.pick("AMERICA", "ASIA"), p.pick("ECONOMY ANODIZED STEEL", "STANDARD POLISHED TIN"))
+	case 9:
+		return fmt.Sprintf(`SELECT n.n_name AS nation, substring(o.o_orderdate, 1, 4) AS o_year,
+ sum(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS sum_profit
+ FROM part pa, supplier s, lineitem l, partsupp ps, orders o, nation n
+ WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey AND ps.ps_partkey = l.l_partkey
+ AND pa.p_partkey = l.l_partkey AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+ AND pa.p_name LIKE '%%%s%%'
+ GROUP BY n.n_name, substring(o.o_orderdate, 1, 4) ORDER BY nation, o_year DESC`,
+			p.pick("green", "red", "blue", "ivory"))
+	case 10:
+		d := p.date(1993, 1994)
+		return fmt.Sprintf(`SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+ c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+ FROM customer c, orders o, lineitem l, nation n
+ WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+ AND o.o_orderdate >= DATE '%s' AND o.o_orderdate < DATE '%s' + INTERVAL '3' month
+ AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+ GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name, c.c_address, c.c_comment
+ ORDER BY revenue DESC LIMIT 20`, d, d)
+	case 11:
+		return fmt.Sprintf(`SELECT ps.ps_partkey, sum(ps.ps_supplycost * ps.ps_availqty) AS value
+ FROM partsupp ps, supplier s, nation n
+ WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey AND n.n_name = '%s'
+ GROUP BY ps.ps_partkey
+ HAVING sum(ps.ps_supplycost * ps.ps_availqty) > (SELECT sum(ps2.ps_supplycost * ps2.ps_availqty) * %g
+ FROM partsupp ps2, supplier s2, nation n2
+ WHERE ps2.ps_suppkey = s2.s_suppkey AND s2.s_nationkey = n2.n_nationkey AND n2.n_name = '%s')
+ ORDER BY value DESC`, p.pick("GERMANY", "JAPAN", "CANADA"), 0.0001, p.pick("GERMANY", "JAPAN", "CANADA"))
+	case 12:
+		d := p.date(1993, 1997)
+		return fmt.Sprintf(`SELECT l.l_shipmode,
+ sum(CASE WHEN o.o_orderpriority = '1-URGENT' OR o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count,
+ sum(CASE WHEN o.o_orderpriority <> '1-URGENT' AND o.o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count
+ FROM orders o, lineitem l
+ WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('%s', '%s')
+ AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < l.l_commitdate
+ AND l.l_receiptdate >= DATE '%s' AND l.l_receiptdate < DATE '%s' + INTERVAL '1' year
+ GROUP BY l.l_shipmode ORDER BY l.l_shipmode`, p.pick("MAIL", "RAIL", "AIR"), p.pick("SHIP", "TRUCK", "FOB"), d, d)
+	case 13:
+		return fmt.Sprintf(`SELECT c_count, count(*) AS custdist FROM
+ (SELECT c.c_custkey AS c_custkey, count(o.o_orderkey) AS c_count
+ FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey
+ WHERE o.o_comment NOT LIKE '%%%s%%%s%%' GROUP BY c.c_custkey) AS c_orders
+ GROUP BY c_count ORDER BY custdist DESC, c_count DESC`,
+			p.pick("special", "pending"), p.pick("requests", "packages"))
+	case 14:
+		d := p.date(1993, 1997)
+		return fmt.Sprintf(`SELECT 100.00 * sum(CASE WHEN pa.p_type LIKE 'PROMO%%' THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) / sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+ FROM lineitem l, part pa
+ WHERE l.l_partkey = pa.p_partkey AND l.l_shipdate >= DATE '%s' AND l.l_shipdate < DATE '%s' + INTERVAL '1' month`, d, d)
+	case 15:
+		d := p.date(1993, 1997)
+		return fmt.Sprintf(`SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone, sum(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+ FROM supplier s, lineitem l
+ WHERE s.s_suppkey = l.l_suppkey AND l.l_shipdate >= DATE '%s' AND l.l_shipdate < DATE '%s' + INTERVAL '3' month
+ GROUP BY s.s_suppkey, s.s_name, s.s_address, s.s_phone
+ ORDER BY total_revenue DESC LIMIT 1`, d, d)
+	case 16:
+		return fmt.Sprintf(`SELECT pa.p_brand, pa.p_type, pa.p_size, count(DISTINCT ps.ps_suppkey) AS supplier_cnt
+ FROM partsupp ps, part pa
+ WHERE pa.p_partkey = ps.ps_partkey AND pa.p_brand <> '%s' AND pa.p_type NOT LIKE '%s%%'
+ AND pa.p_size IN (%d, %d, %d, %d)
+ AND ps.ps_suppkey NOT IN (SELECT s_suppkey FROM supplier WHERE s_comment LIKE '%%Customer%%Complaints%%')
+ GROUP BY pa.p_brand, pa.p_type, pa.p_size
+ ORDER BY supplier_cnt DESC, pa.p_brand, pa.p_type, pa.p_size`,
+			p.pick("Brand#45", "Brand#21"), p.pick("MEDIUM POLISHED", "SMALL BRUSHED"),
+			p.intIn(1, 10), p.intIn(11, 20), p.intIn(21, 30), p.intIn(31, 50))
+	case 17:
+		return fmt.Sprintf(`SELECT sum(l.l_extendedprice) / 7.0 AS avg_yearly FROM lineitem l, part pa
+ WHERE pa.p_partkey = l.l_partkey AND pa.p_brand = '%s' AND pa.p_container = '%s'
+ AND l.l_quantity < (SELECT 0.2 * avg(l2.l_quantity) FROM lineitem l2 WHERE l2.l_partkey = pa.p_partkey)`,
+			p.pick("Brand#23", "Brand#12"), p.pick("MED BOX", "JUMBO PKG"))
+	case 18:
+		return fmt.Sprintf(`SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice, sum(l.l_quantity) AS total_qty
+ FROM customer c, orders o, lineitem l
+ WHERE o.o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > %d)
+ AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+ GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+ ORDER BY o.o_totalprice DESC, o.o_orderdate LIMIT 100`, p.intIn(300, 315))
+	case 19:
+		return fmt.Sprintf(`SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue FROM lineitem l, part pa
+ WHERE pa.p_partkey = l.l_partkey AND l.l_shipmode IN ('AIR', 'AIR REG') AND l.l_shipinstruct = 'DELIVER IN PERSON'
+ AND ((pa.p_brand = '%s' AND l.l_quantity BETWEEN %d AND %d AND pa.p_size BETWEEN 1 AND 5)
+ OR (pa.p_brand = '%s' AND l.l_quantity BETWEEN %d AND %d AND pa.p_size BETWEEN 1 AND 10))`,
+			p.pick("Brand#12", "Brand#31"), p.intIn(1, 10), p.intIn(11, 20),
+			p.pick("Brand#23", "Brand#52"), p.intIn(10, 20), p.intIn(20, 30))
+	case 20:
+		d := p.date(1993, 1997)
+		return fmt.Sprintf(`SELECT s.s_name, s.s_address FROM supplier s, nation n
+ WHERE s.s_suppkey IN (SELECT ps_suppkey FROM partsupp
+ WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE '%s%%')
+ AND ps_availqty > (SELECT 0.5 * sum(l_quantity) FROM lineitem
+ WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+ AND l_shipdate >= DATE '%s' AND l_shipdate < DATE '%s' + INTERVAL '1' year))
+ AND s.s_nationkey = n.n_nationkey AND n.n_name = '%s' ORDER BY s.s_name`,
+			p.pick("forest", "azure", "lace"), d, d, p.pick("CANADA", "FRANCE", "KENYA"))
+	case 21:
+		return fmt.Sprintf(`SELECT s.s_name, count(*) AS numwait
+ FROM supplier s, lineitem l1, orders o, nation n
+ WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey AND o.o_orderstatus = 'F'
+ AND l1.l_receiptdate > l1.l_commitdate
+ AND EXISTS (SELECT 1 FROM lineitem l2 WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey)
+ AND NOT EXISTS (SELECT 1 FROM lineitem l3 WHERE l3.l_orderkey = l1.l_orderkey AND l3.l_suppkey <> l1.l_suppkey AND l3.l_receiptdate > l3.l_commitdate)
+ AND s.s_nationkey = n.n_nationkey AND n.n_name = '%s'
+ GROUP BY s.s_name ORDER BY numwait DESC, s.s_name LIMIT 100`,
+			p.pick("SAUDI ARABIA", "UNITED STATES", "CHINA"))
+	case 22:
+		return fmt.Sprintf(`SELECT substring(c.c_phone, 1, 2) AS cntrycode, count(*) AS numcust, sum(c.c_acctbal) AS totacctbal
+ FROM customer c
+ WHERE substring(c.c_phone, 1, 2) IN ('%d', '%d', '%d', '%d', '%d', '%d', '%d')
+ AND c.c_acctbal > (SELECT avg(c2.c_acctbal) FROM customer c2 WHERE c2.c_acctbal > 0.00
+ AND substring(c2.c_phone, 1, 2) IN ('%d', '%d', '%d', '%d', '%d', '%d', '%d'))
+ AND NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey)
+ GROUP BY substring(c.c_phone, 1, 2) ORDER BY cntrycode`,
+			13, 31, 23, 29, 30, 18, 17, 13, 31, 23, 29, 30, 18, 17)
+	}
+	panic(fmt.Sprintf("workload: TPC-H has 22 queries, got %d", q))
+}
+
+// TPCHWorkload generates n statements by cycling through all 22 templates
+// with fresh parameters (the paper's provenance study used 2,208 queries —
+// 22 templates × ~100 parameter instantiations).
+func TPCHWorkload(n int, seed uint64) []string {
+	p := NewTPCHParams(seed)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, TPCHQuery(i%22+1, p))
+	}
+	return out
+}
