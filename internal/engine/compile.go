@@ -10,7 +10,13 @@ import (
 	"repro/internal/sql"
 )
 
-// evalFunc evaluates a compiled expression for one row of a rowset.
+// evalFunc evaluates a compiled expression for one row of a rowset. This
+// row-at-a-time interpreter is the engine's reference semantics: the batch
+// kernels in vector.go must agree with it (see
+// TestKernelInterpreterEquivalence), relational operators call the kernels,
+// and this path remains for row-mode PREDICT (the Figure-4 UDF baseline,
+// whose per-call cost must not be vectorized away), INSERT row evaluation,
+// and as the kernels' fallback tier.
 type evalFunc func(rs *RowSet, row int) (Value, error)
 
 // compileEnv supplies out-of-schema context to the compiler: model
@@ -516,6 +522,9 @@ func compileFunc(x *sql.FuncCall, schema Schema, env *compileEnv) (evalFunc, err
 				}
 				if start+l < end {
 					end = start + l
+				}
+				if end < start {
+					end = start // negative length yields the empty string
 				}
 			}
 			return StringValue(s[start:end]), nil

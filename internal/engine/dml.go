@@ -10,6 +10,37 @@ import (
 // concurrent readers holding a snapshot never observe partial updates, and
 // every write bumps the table version (feeding provenance's temporal model).
 
+// whereMask evaluates an optional WHERE clause as a batch kernel and
+// returns its truth mask over rs (nil when there is no clause, meaning
+// every row matches).
+func whereMask(where sql.Expr, rs *RowSet, env *compileEnv) ([]bool, error) {
+	if where == nil {
+		return nil, nil
+	}
+	fn, err := compileVec(where, rs.Schema, env)
+	if err != nil {
+		return nil, err
+	}
+	v, err := fn(rs)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.pendingErr(rs.N); err != nil {
+		return nil, err
+	}
+	m := v.truthyMask()
+	if v.Const {
+		hits := make([]bool, rs.N)
+		if m[0] {
+			for i := range hits {
+				hits[i] = true
+			}
+		}
+		return hits, nil
+	}
+	return m, nil
+}
+
 func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	schema := make(Schema, len(s.Columns))
 	for i, c := range s.Columns {
@@ -127,12 +158,9 @@ func (db *DB) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
 	rs := &RowSet{Schema: schema, Cols: cols, N: n}
 	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
 
-	var where evalFunc
-	if s.Where != nil {
-		where, err = compileExpr(s.Where, schema, env)
-		if err != nil {
-			return nil, err
-		}
+	hits, err := whereMask(s.Where, rs, env)
+	if err != nil {
+		return nil, err
 	}
 	type setOp struct {
 		idx int
@@ -158,14 +186,7 @@ func (db *DB) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
 	}
 	var affected int64
 	for r := 0; r < n; r++ {
-		hit := true
-		if where != nil {
-			v, err := where(rs, r)
-			if err != nil {
-				return nil, err
-			}
-			hit = v.Truthy()
-		}
+		hit := hits == nil || hits[r]
 		rowVals := make([]Value, len(cols))
 		for c := range cols {
 			rowVals[c] = cols[c].Value(r)
@@ -201,24 +222,14 @@ func (db *DB) execDelete(s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
 	rs := &RowSet{Schema: schema, Cols: cols, N: n}
 	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
 
-	var where evalFunc
-	if s.Where != nil {
-		where, err = compileExpr(s.Where, schema, env)
-		if err != nil {
-			return nil, err
-		}
+	hits, err := whereMask(s.Where, rs, env)
+	if err != nil {
+		return nil, err
 	}
 	var keep []int32
 	var affected int64
 	for r := 0; r < n; r++ {
-		hit := true
-		if where != nil {
-			v, err := where(rs, r)
-			if err != nil {
-				return nil, err
-			}
-			hit = v.Truthy()
-		}
+		hit := hits == nil || hits[r]
 		if hit {
 			affected++
 		} else {

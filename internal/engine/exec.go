@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/ml"
@@ -129,17 +128,33 @@ func (ex *executor) execScan(n *opt.Scan) (*RowSet, error) {
 	return ex.filterRowSet(rs, opt.AndAll(n.Filters))
 }
 
-// filterRowSet evaluates pred over rs and gathers the surviving rows,
-// in parallel partitions when warranted.
+// filterRowSet evaluates pred as a batch kernel over rs and gathers the
+// surviving rows, in parallel partitions when warranted. Each partition is
+// a zero-copy slice of the rowset; the predicate produces a truth mask that
+// collapses into a selection vector.
 func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 	if pred == nil {
 		return rs, nil
 	}
-	fn, err := compileExpr(pred, rs.Schema, ex.env)
+	fn, err := compileVec(pred, rs.Schema, ex.env)
 	if err != nil {
 		return nil, err
 	}
 	w := ex.workers(rs.N)
+	if w <= 1 {
+		v, err := fn(rs)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.pendingErr(rs.N); err != nil {
+			return nil, err
+		}
+		sel := appendTrue(make([]int32, 0, rs.N/4+1), v, rs.N, 0)
+		if len(sel) == rs.N {
+			return rs, nil
+		}
+		return rs.Gather(sel), nil
+	}
 	parts := partition(rs.N, w)
 	sels := make([][]int32, len(parts))
 	errs := make([]error, len(parts))
@@ -148,18 +163,16 @@ func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 		wg.Add(1)
 		go func(pi int, lo, hi int) {
 			defer wg.Done()
-			var sel []int32
-			for r := lo; r < hi; r++ {
-				v, err := fn(rs, r)
-				if err != nil {
-					errs[pi] = err
-					return
-				}
-				if v.Truthy() {
-					sel = append(sel, int32(r))
-				}
+			part := rs.Slice(lo, hi)
+			v, err := fn(part)
+			if err == nil {
+				err = v.pendingErr(hi - lo)
 			}
-			sels[pi] = sel
+			if err != nil {
+				errs[pi] = err
+				return
+			}
+			sels[pi] = appendTrue(nil, v, hi-lo, lo)
 		}(pi, pr[0], pr[1])
 	}
 	wg.Wait()
@@ -273,48 +286,11 @@ func (ex *executor) execPredict(n *opt.Predict) (*RowSet, error) {
 		cols := append(append([]Column(nil), in.Cols...), FloatColumn(scores))
 		return &RowSet{Schema: outSchema, Cols: cols, N: in.N}, nil
 	}
-	// Fused threshold filter.
-	sel := make([]int32, 0, in.N/4)
-	thr := n.Compare.Threshold
-	switch n.Compare.Op {
-	case ">":
-		for r, s := range scores {
-			if s > thr {
-				sel = append(sel, int32(r))
-			}
-		}
-	case ">=":
-		for r, s := range scores {
-			if s >= thr {
-				sel = append(sel, int32(r))
-			}
-		}
-	case "<":
-		for r, s := range scores {
-			if s < thr {
-				sel = append(sel, int32(r))
-			}
-		}
-	case "<=":
-		for r, s := range scores {
-			if s <= thr {
-				sel = append(sel, int32(r))
-			}
-		}
-	case "=":
-		for r, s := range scores {
-			if s == thr {
-				sel = append(sel, int32(r))
-			}
-		}
-	case "<>":
-		for r, s := range scores {
-			if s != thr {
-				sel = append(sel, int32(r))
-			}
-		}
-	default:
-		return nil, fmt.Errorf("engine: unsupported fused compare %q", n.Compare.Op)
+	// Fused threshold filter: the score column feeds the shared selection
+	// kernel directly, no per-row boxing.
+	sel, err := selectFloatCompare(scores, n.Compare.Op, n.Compare.Threshold)
+	if err != nil {
+		return nil, err
 	}
 	out := in.Gather(sel)
 	fc := FloatColumn(scores)
@@ -334,7 +310,7 @@ func (ex *executor) bindColumn(rs *RowSet, a sql.Expr) (Column, error) {
 		}
 		return rs.Cols[idx], nil
 	}
-	fn, err := compileExpr(a, rs.Schema, ex.env)
+	fn, err := compileVec(a, rs.Schema, ex.env)
 	if err != nil {
 		return Column{}, err
 	}
@@ -342,17 +318,11 @@ func (ex *executor) bindColumn(rs *RowSet, a sql.Expr) (Column, error) {
 	if err != nil {
 		return Column{}, err
 	}
-	col := NewColumn(typ)
-	for r := 0; r < rs.N; r++ {
-		v, err := fn(rs, r)
-		if err != nil {
-			return Column{}, err
-		}
-		if err := col.Append(v); err != nil {
-			return Column{}, err
-		}
+	v, err := fn(rs)
+	if err != nil {
+		return Column{}, err
 	}
-	return col, nil
+	return v.toColumn(typ, rs.N)
 }
 
 func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
@@ -398,37 +368,42 @@ func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
 		return ex.materializeJoin(left, right, combined, lsel, rsel, residual, nil)
 	}
 
-	// Hash the right side.
-	build := map[string][]int32{}
-	var key strings.Builder
-	for r := 0; r < right.N; r++ {
-		key.Reset()
-		for _, k := range rightKeys {
-			encodeValue(&key, right.Cols[k].Value(r))
-		}
-		build[key.String()] = append(build[key.String()], int32(r))
+	// Hash the right side with the typed multi-column table: keys are
+	// compared column-wise (int/float keys numerically), no string encoding.
+	leftVecs := make([]*Vec, len(leftKeys))
+	rightVecs := make([]*Vec, len(rightKeys))
+	for i := range leftKeys {
+		leftVecs[i] = colVec(&left.Cols[leftKeys[i]])
+		rightVecs[i] = colVec(&right.Cols[rightKeys[i]])
 	}
+	modes, comparable := pairKeyModes(leftVecs, rightVecs)
 	var lsel, rsel []int32
-	matched := make([]bool, 0)
 	var leftUnmatched []int32
-	for l := 0; l < left.N; l++ {
-		key.Reset()
-		for _, k := range leftKeys {
-			encodeValue(&key, left.Cols[k].Value(l))
+	if !comparable {
+		// Some key pair can never be equal (e.g. text vs int), so no row
+		// matches; LEFT JOIN still emits every left row.
+		if n.Type == sql.JoinLeft {
+			for l := 0; l < left.N; l++ {
+				leftUnmatched = append(leftUnmatched, int32(l))
+			}
 		}
-		rows := build[key.String()]
-		if len(rows) == 0 {
+		return ex.materializeJoin(left, right, combined, lsel, rsel, residual, leftUnmatched)
+	}
+	jt := buildJoinTable(rightVecs, right.N, modes)
+	var matches []int32
+	for l := 0; l < left.N; l++ {
+		matches = jt.probe(leftVecs, l, matches[:0])
+		if len(matches) == 0 {
 			if n.Type == sql.JoinLeft {
 				leftUnmatched = append(leftUnmatched, int32(l))
 			}
 			continue
 		}
-		for _, r := range rows {
+		for _, r := range matches {
 			lsel = append(lsel, int32(l))
 			rsel = append(rsel, r)
 		}
 	}
-	_ = matched
 	return ex.materializeJoin(left, right, combined, lsel, rsel, residual, leftUnmatched)
 }
 
@@ -510,38 +485,19 @@ func resolvePair(l, r sql.Expr, left, right Schema) (int, int, bool) {
 	return 0, 0, false
 }
 
-func encodeValue(b *strings.Builder, v Value) {
-	if v.Null {
-		b.WriteString("\x00N|")
-		return
-	}
-	switch v.Kind {
-	case TypeInt:
-		fmt.Fprintf(b, "\x01%d|", v.I)
-	case TypeFloat:
-		fmt.Fprintf(b, "\x02%g|", v.F)
-	case TypeString:
-		b.WriteString("\x03")
-		b.WriteString(v.S)
-		b.WriteString("|")
-	case TypeBool:
-		if v.B {
-			b.WriteString("\x04t|")
-		} else {
-			b.WriteString("\x04f|")
-		}
-	}
-}
-
-type aggState struct {
-	groupVals []Value
-	count     int64
-	sum       float64
-	sumIsInt  bool
-	sumI      int64
-	min, max  Value
-	seen      bool
-	distinct  map[string]bool
+// aggAcc holds the typed per-group accumulators of one aggregate spec.
+// Group ids index every slice; only the fields the function needs are
+// allocated.
+type aggAcc struct {
+	vec      *Vec // argument column (nil for count(*))
+	count    []int64
+	sum      []float64
+	seen     []bool
+	minI     []int64
+	minF     []float64
+	minS     []string
+	minB     []bool
+	distinct map[distinctKey]bool
 }
 
 func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
@@ -549,130 +505,72 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	groupFns := make([]evalFunc, len(n.GroupBy))
+
+	// Evaluate the group keys as whole columns, then hash them once into
+	// dense group ids.
+	keyVecs := make([]*Vec, len(n.GroupBy))
 	for i, g := range n.GroupBy {
-		fn, err := compileExpr(g, in.Schema, ex.env)
+		fn, err := compileVec(g, in.Schema, ex.env)
 		if err != nil {
 			return nil, err
 		}
-		groupFns[i] = fn
+		v, err := fn(in)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.pendingErr(in.N); err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v.materialize(in.N)
 	}
-	argFns := make([]evalFunc, len(n.Aggs))
-	for i, a := range n.Aggs {
-		if a.Arg == nil {
+	gt := buildGroupTable(keyVecs, in.N)
+	G := len(gt.groupRows)
+	if G == 0 && len(n.GroupBy) == 0 {
+		G = 1 // global aggregate over empty input still yields one row
+	}
+	rg := gt.rowGroup
+
+	accs := make([]*aggAcc, len(n.Aggs))
+	for ai, spec := range n.Aggs {
+		a := &aggAcc{count: make([]int64, G)}
+		accs[ai] = a
+		if spec.Arg == nil {
+			if spec.Star {
+				for _, g := range rg {
+					a.count[g]++
+				}
+			}
 			continue
 		}
-		fn, err := compileExpr(a.Arg, in.Schema, ex.env)
+		fn, err := compileVec(spec.Arg, in.Schema, ex.env)
 		if err != nil {
 			return nil, err
 		}
-		argFns[i] = fn
-	}
-
-	states := map[string][]*aggState{} // key -> one state per agg (index 0 holds groupVals)
-	var order []string
-	var key strings.Builder
-	for r := 0; r < in.N; r++ {
-		key.Reset()
-		groupVals := make([]Value, len(groupFns))
-		for i, fn := range groupFns {
-			v, err := fn(in, r)
-			if err != nil {
-				return nil, err
-			}
-			groupVals[i] = v
-			encodeValue(&key, v)
+		v, err := fn(in)
+		if err != nil {
+			return nil, err
 		}
-		k := key.String()
-		sts := states[k]
-		if sts == nil {
-			sts = make([]*aggState, len(n.Aggs))
-			for i := range sts {
-				sts[i] = &aggState{sumIsInt: true}
-				if n.Aggs[i].Distinct {
-					sts[i].distinct = map[string]bool{}
-				}
-			}
-			if len(sts) == 0 {
-				sts = []*aggState{{}}
-			}
-			sts[0].groupVals = groupVals
-			states[k] = sts
-			order = append(order, k)
+		if err := v.pendingErr(in.N); err != nil {
+			return nil, err
 		}
-		for i, spec := range n.Aggs {
-			st := sts[i]
-			if spec.Star {
-				st.count++
-				continue
-			}
-			v, err := argFns[i](in, r)
-			if err != nil {
-				return nil, err
-			}
-			if v.Null {
-				continue
-			}
-			if spec.Distinct {
-				var db strings.Builder
-				encodeValue(&db, v)
-				if st.distinct[db.String()] {
-					continue
-				}
-				st.distinct[db.String()] = true
-			}
-			st.count++
-			switch spec.Func {
-			case "sum", "avg":
-				f, err := v.AsFloat()
-				if err != nil {
-					return nil, fmt.Errorf("engine: %s over %s", spec.Func, v.Kind)
-				}
-				st.sum += f
-				if v.Kind == TypeInt {
-					st.sumI += v.I
-				} else {
-					st.sumIsInt = false
-				}
-			case "min":
-				if !st.seen {
-					st.min = v
-				} else if c, _ := Compare(v, st.min); c < 0 {
-					st.min = v
-				}
-			case "max":
-				if !st.seen {
-					st.max = v
-				} else if c, _ := Compare(v, st.max); c > 0 {
-					st.max = v
-				}
-			}
-			st.seen = true
+		av := v.materialize(in.N)
+		a.vec = av
+		if spec.Distinct {
+			a.distinct = make(map[distinctKey]bool)
 		}
-	}
-
-	// Global aggregate over empty input still yields one row.
-	if len(order) == 0 && len(n.GroupBy) == 0 {
-		sts := make([]*aggState, len(n.Aggs))
-		for i := range sts {
-			sts[i] = &aggState{}
+		if err := accumulate(a, spec, av, rg, G, in.N); err != nil {
+			return nil, err
 		}
-		if len(sts) == 0 {
-			sts = []*aggState{{}}
-		}
-		states[""] = sts
-		order = append(order, "")
 	}
 
 	// Build the output.
 	outSchema := make(Schema, 0, len(n.GroupNames)+len(n.Aggs))
-	outCols := make([]Column, 0, cap(outSchema))
+	outCols := make([]Column, 0, len(n.GroupNames)+len(n.Aggs))
 	// Group column types come from the first group's values.
-	firstGroup := states[order[0]][0].groupVals
 	for i, name := range n.GroupNames {
 		t := TypeString
-		if i < len(firstGroup) && !firstGroup[i].Null {
-			t = firstGroup[i].Kind
+		if len(gt.groupRows) > 0 && !keyVecs[i].isNull(int(gt.groupRows[0])) {
+			t = keyVecs[i].Type
 		}
 		outSchema = append(outSchema, ColMeta{Name: name, Type: t})
 		outCols = append(outCols, NewColumn(t))
@@ -685,49 +583,224 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 		outSchema = append(outSchema, ColMeta{Name: spec.OutName, Type: t})
 		outCols = append(outCols, NewColumn(t))
 	}
-	for _, k := range order {
-		sts := states[k]
+	for g := 0; g < G; g++ {
 		for i := range n.GroupNames {
-			if err := outCols[i].Append(sts[0].groupVals[i]); err != nil {
+			if err := outCols[i].Append(keyVecs[i].valueAt(int(gt.groupRows[g]))); err != nil {
 				return nil, err
 			}
 		}
-		for i, spec := range n.Aggs {
-			st := sts[i]
+		for ai, spec := range n.Aggs {
+			a := accs[ai]
 			var v Value
 			switch spec.Func {
 			case "count":
-				v = IntValue(st.count)
+				v = IntValue(a.count[g])
 			case "sum":
-				v = FloatValue(st.sum)
-			case "avg":
-				if st.count == 0 {
+				// a.sum is nil for sum(*): no argument was ever folded, so
+				// the total is zero (matching the old aggState behavior).
+				if a.sum == nil {
 					v = FloatValue(0)
 				} else {
-					v = FloatValue(st.sum / float64(st.count))
+					v = FloatValue(a.sum[g])
 				}
-			case "min":
-				v = st.min
-				if !st.seen {
-					v = NullValue()
+			case "avg":
+				if a.sum == nil || a.count[g] == 0 {
+					v = FloatValue(0)
+				} else {
+					v = FloatValue(a.sum[g] / float64(a.count[g]))
 				}
-			case "max":
-				v = st.max
-				if !st.seen {
-					v = NullValue()
-				}
+			case "min", "max":
+				v = minMaxValue(a, g)
 			default:
 				return nil, fmt.Errorf("engine: unknown aggregate %q", spec.Func)
 			}
-			if v.Kind == TypeInt && outSchema[len(n.GroupNames)+i].Type == TypeFloat {
+			if v.Kind == TypeInt && outSchema[len(n.GroupNames)+ai].Type == TypeFloat {
 				v = FloatValue(float64(v.I))
 			}
-			if err := outCols[len(n.GroupNames)+i].Append(v); err != nil {
+			if err := outCols[len(n.GroupNames)+ai].Append(v); err != nil {
 				return nil, err
 			}
 		}
 	}
 	return NewRowSet(outSchema, outCols)
+}
+
+// accumulate folds the argument column of one aggregate into its per-group
+// accumulators with a typed inner loop. NULLs are skipped; DISTINCT
+// deduplicates per (group, value) through the typed key.
+func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) error {
+	// skip reports whether row r is null or a distinct-duplicate, mirroring
+	// the row interpreter's per-row checks.
+	skip := func(r int) bool {
+		if av.Nulls != nil && av.Nulls[r] {
+			return true
+		}
+		if a.distinct != nil {
+			k := distinctKeyAt(av, r, rg[r])
+			if a.distinct[k] {
+				return true
+			}
+			a.distinct[k] = true
+		}
+		return false
+	}
+	switch spec.Func {
+	case "count":
+		if a.distinct == nil && av.Nulls == nil {
+			for _, g := range rg {
+				a.count[g]++
+			}
+			return nil
+		}
+		for r := 0; r < n; r++ {
+			if skip(r) {
+				continue
+			}
+			a.count[rg[r]]++
+		}
+	case "sum", "avg":
+		a.sum = make([]float64, G)
+		switch av.Type {
+		case TypeFloat:
+			if a.distinct == nil && av.Nulls == nil {
+				for r, g := range rg {
+					a.count[g]++
+					a.sum[g] += av.Floats[r]
+				}
+				return nil
+			}
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				a.count[rg[r]]++
+				a.sum[rg[r]] += av.Floats[r]
+			}
+		case TypeInt:
+			if a.distinct == nil && av.Nulls == nil {
+				for r, g := range rg {
+					a.count[g]++
+					a.sum[g] += float64(av.Ints[r])
+				}
+				return nil
+			}
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				a.count[rg[r]]++
+				a.sum[rg[r]] += float64(av.Ints[r])
+			}
+		case TypeBool:
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				a.count[rg[r]]++
+				if av.Bools[r] {
+					a.sum[rg[r]]++
+				}
+			}
+		default:
+			for r := 0; r < n; r++ {
+				if av.Nulls != nil && av.Nulls[r] {
+					continue
+				}
+				return fmt.Errorf("engine: %s over %s", spec.Func, av.Type)
+			}
+		}
+	case "min", "max":
+		a.seen = make([]bool, G)
+		isMin := spec.Func == "min"
+		switch av.Type {
+		case TypeInt:
+			a.minI = make([]int64, G)
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				g := rg[r]
+				a.count[g]++
+				v := av.Ints[r]
+				if !a.seen[g] || (isMin && v < a.minI[g]) || (!isMin && v > a.minI[g]) {
+					a.minI[g] = v
+				}
+				a.seen[g] = true
+			}
+		case TypeFloat:
+			a.minF = make([]float64, G)
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				g := rg[r]
+				a.count[g]++
+				v := av.Floats[r]
+				if !a.seen[g] || (isMin && v < a.minF[g]) || (!isMin && v > a.minF[g]) {
+					a.minF[g] = v
+				}
+				a.seen[g] = true
+			}
+		case TypeString:
+			a.minS = make([]string, G)
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				g := rg[r]
+				a.count[g]++
+				v := av.Strs[r]
+				if !a.seen[g] || (isMin && v < a.minS[g]) || (!isMin && v > a.minS[g]) {
+					a.minS[g] = v
+				}
+				a.seen[g] = true
+			}
+		case TypeBool:
+			a.minB = make([]bool, G)
+			for r := 0; r < n; r++ {
+				if skip(r) {
+					continue
+				}
+				g := rg[r]
+				a.count[g]++
+				v := av.Bools[r]
+				if !a.seen[g] || (isMin && a.minB[g] && !v) || (!isMin && !a.minB[g] && v) {
+					a.minB[g] = v
+				}
+				a.seen[g] = true
+			}
+		}
+	default:
+		// Unknown functions surface the same error at output time as the
+		// interpreter did; just count.
+		for r := 0; r < n; r++ {
+			if skip(r) {
+				continue
+			}
+			a.count[rg[r]]++
+		}
+	}
+	return nil
+}
+
+// minMaxValue boxes the min/max accumulator of group g (NULL when the group
+// saw no non-null values).
+func minMaxValue(a *aggAcc, g int) Value {
+	// a.seen is nil for min(*)/max(*), which never fold a value.
+	if a.seen == nil || !a.seen[g] {
+		return NullValue()
+	}
+	switch {
+	case a.minI != nil:
+		return IntValue(a.minI[g])
+	case a.minF != nil:
+		return FloatValue(a.minF[g])
+	case a.minS != nil:
+		return StringValue(a.minS[g])
+	case a.minB != nil:
+		return BoolValue(a.minB[g])
+	}
+	return NullValue()
 }
 
 func (ex *executor) execProject(n *opt.Project) (*RowSet, error) {
@@ -748,7 +821,7 @@ func (ex *executor) execProject(n *opt.Project) (*RowSet, error) {
 			outCols[i] = in.Cols[idx]
 			continue
 		}
-		fn, err := compileExpr(e, in.Schema, ex.env)
+		fn, err := compileVec(e, in.Schema, ex.env)
 		if err != nil {
 			return nil, err
 		}
@@ -756,15 +829,13 @@ func (ex *executor) execProject(n *opt.Project) (*RowSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		col := NewColumn(t)
-		for r := 0; r < in.N; r++ {
-			v, err := fn(in, r)
-			if err != nil {
-				return nil, err
-			}
-			if err := col.Append(v); err != nil {
-				return nil, err
-			}
+		v, err := fn(in)
+		if err != nil {
+			return nil, err
+		}
+		col, err := v.toColumn(t, in.N)
+		if err != nil {
+			return nil, err
 		}
 		outSchema[i] = ColMeta{Name: n.Names[i], Type: t}
 		outCols[i] = col
@@ -777,24 +848,20 @@ func (ex *executor) execDistinct(n *opt.Distinct) (*RowSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen := map[string]bool{}
-	var sel []int32
-	var key strings.Builder
-	for r := 0; r < in.N; r++ {
-		key.Reset()
-		for c := range in.Cols {
-			encodeValue(&key, in.Cols[c].Value(r))
-		}
-		k := key.String()
-		if !seen[k] {
-			seen[k] = true
-			sel = append(sel, int32(r))
-		}
-	}
-	if len(sel) == in.N {
+	if in.N == 0 {
 		return in, nil
 	}
-	return in.Gather(sel), nil
+	// All columns are the key: the group table's first-occurrence rows are
+	// exactly the distinct rows, in input order.
+	vecs := make([]*Vec, len(in.Cols))
+	for i := range in.Cols {
+		vecs[i] = colVec(&in.Cols[i])
+	}
+	gt := buildGroupTable(vecs, in.N)
+	if len(gt.groupRows) == in.N {
+		return in, nil
+	}
+	return in.Gather(gt.groupRows), nil
 }
 
 func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
@@ -802,40 +869,31 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	keyFns := make([]evalFunc, len(n.Keys))
+	// Evaluate each key once as a whole column; comparisons then read typed
+	// slices instead of boxed per-row values.
+	keyVecs := make([]*Vec, len(n.Keys))
 	for i, k := range n.Keys {
-		fn, err := compileExpr(k.Expr, in.Schema, ex.env)
+		fn, err := compileVec(k.Expr, in.Schema, ex.env)
 		if err != nil {
 			return nil, err
 		}
-		keyFns[i] = fn
-	}
-	// Precompute key values per row.
-	keys := make([][]Value, in.N)
-	for r := 0; r < in.N; r++ {
-		kv := make([]Value, len(keyFns))
-		for i, fn := range keyFns {
-			v, err := fn(in, r)
-			if err != nil {
-				return nil, err
-			}
-			kv[i] = v
+		v, err := fn(in)
+		if err != nil {
+			return nil, err
 		}
-		keys[r] = kv
+		if err := v.pendingErr(in.N); err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v.materialize(in.N)
 	}
 	sel := make([]int32, in.N)
 	for i := range sel {
 		sel[i] = int32(i)
 	}
-	var sortErr error
 	sort.SliceStable(sel, func(a, b int) bool {
-		ka, kb := keys[sel[a]], keys[sel[b]]
-		for i := range ka {
-			c, err := Compare(ka[i], kb[i])
-			if err != nil {
-				sortErr = err
-				return false
-			}
+		ra, rb := int(sel[a]), int(sel[b])
+		for i, kv := range keyVecs {
+			c := vecCompareRows(kv, ra, rb)
 			if c != 0 {
 				if n.Keys[i].Desc {
 					return c > 0
@@ -845,9 +903,6 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 		}
 		return false
 	})
-	if sortErr != nil {
-		return nil, sortErr
-	}
 	return in.Gather(sel), nil
 }
 

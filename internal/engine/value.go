@@ -1,8 +1,14 @@
 // Package engine is the columnar, vectorized query engine that plays the
 // role of the DBMS runtime in the Flock reproduction: typed columnar
-// storage, an expression compiler, volcano-style physical operators
-// (including the vectorized, parallel PREDICT operator of §4.1), table
-// statistics, versioning, and a query log for lazy provenance capture.
+// storage, a batch expression compiler (vector.go) whose kernels evaluate
+// whole columns per call with typed inner loops and null masks, typed
+// multi-column hash tables for aggregation/distinct/joins (hash.go),
+// volcano-style physical operators (including the vectorized, parallel
+// PREDICT operator of §4.1), table statistics, versioning, and a query log
+// for lazy provenance capture. A row-at-a-time reference interpreter
+// (compile.go) backs the LevelUDF PREDICT path and DML, and pins kernel
+// semantics through an equivalence property test; docs/engine.md describes
+// the batch-kernel ABI.
 package engine
 
 import (
