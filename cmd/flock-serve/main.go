@@ -1,0 +1,157 @@
+// Command flock-serve runs the HTTP serving layer over a Flock instance
+// pre-loaded with the demo customers table and a deployed "churn" model:
+//
+//	$ flock-serve -addr 127.0.0.1:8080 -rows 100000
+//	$ curl -s localhost:8080/v1/sessions -d '{"user":"alice"}'
+//	  -> {"session":"<id>", ...}
+//	$ curl -s localhost:8080/v1/query -d '{"session":"<id>",
+//	      "sql":"SELECT count(*) FROM customers WHERE PREDICT(churn, age, income, tenure, region, notes) > 0.8"}'
+//
+// With -tokens, sessions require credentials ("user:token,user2:token2");
+// without it any user is admitted (development mode). Every authenticated
+// user is granted the admin role so the demo works out of the box; in a
+// real deployment wire your own role assignment before starting the server.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
+// in-flight queries get a drain window, and whatever remains is canceled
+// engine-wide at the next batch boundary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	rows := flag.Int("rows", 100000, "size of the demo customers table")
+	workers := flag.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission wait-queue depth")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "per-query timeout ceiling")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session expiry")
+	planCache := flag.Int("plan-cache", 256, "prepared-plan LRU capacity")
+	tokens := flag.String("tokens", "", "comma-separated user:token credentials (empty = allow any user)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight queries")
+	flag.Parse()
+
+	flock, err := core.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Demo workload: the Figure-4 scoring table plus a deployed churn model.
+	if err := workload.LoadScoringTable(flock.DB, workload.ScoringConfig{
+		Rows: *rows, Seed: 7, Regions: 6, WithText: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := workload.TrainScoringPipeline(4000, 42, 50, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flock.Access.AssignRole("flock-serve", "admin")
+	if _, err := flock.DeployPipeline("flock-serve", "churn", pipe, core.TrainingInfo{
+		Script: "flock-serve bootstrap", Tables: []string{"customers"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := server.Config{
+		MaxWorkers:     *workers,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		SessionTTL:     *sessionTTL,
+		PlanCacheSize:  *planCache,
+		// Demo role assignment: every authenticated user can do everything.
+		OnSession: func(user string) { flock.Access.AssignRole(user, "admin") },
+	}
+	if *tokens != "" {
+		creds := map[string]string{}
+		for _, pair := range strings.Split(*tokens, ",") {
+			user, token, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok {
+				log.Fatalf("flock-serve: bad -tokens entry %q (want user:token)", pair)
+			}
+			creds[user] = token
+		}
+		cfg.Authenticate = server.StaticTokenAuth(creds)
+	}
+
+	srv := server.New(flock, cfg)
+
+	// Baseline the score monitor on the deployed model's training-time
+	// distribution so /metrics exports drift state from the start.
+	if mon := baselineMonitor(flock); mon != nil {
+		srv.AttachMonitor(mon)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	// Give the listener a beat to bind so the banner prints the truth.
+	time.Sleep(50 * time.Millisecond)
+	fmt.Printf("flock-serve: %d customers, model 'churn' deployed, listening on %s\n", *rows, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-sig:
+		fmt.Println("flock-serve: shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("flock-serve: forced shutdown after drain window: %v", err)
+			os.Exit(1)
+		}
+		fmt.Println("flock-serve: clean shutdown")
+	}
+}
+
+// baselineMonitor scores a sample of the customers table through the
+// deployed model, snapshots the first part as the drift baseline, and
+// seeds the sliding window with the rest — so /metrics exports live
+// flock_monitor_psi / drift_status gauges (reading ~0 / stable) from the
+// first scrape, with production traffic expected to keep feeding Observe.
+func baselineMonitor(flock *core.Flock) *monitor.ScoreMonitor {
+	res, err := flock.Exec("flock-serve",
+		"SELECT PREDICT(churn, age, income, tenure, region, notes) FROM customers LIMIT 3000")
+	if err != nil {
+		log.Printf("flock-serve: monitor baseline skipped: %v", err)
+		return nil
+	}
+	scores := make([]float64, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if f, ok := row[0].(float64); ok {
+			scores = append(scores, f)
+		}
+	}
+	split := len(scores) * 2 / 3
+	if split < monitor.DefaultBins {
+		log.Printf("flock-serve: monitor baseline skipped: only %d scores", len(scores))
+		return nil
+	}
+	mon, err := monitor.NewScoreMonitor("churn", scores[:split], 5000)
+	if err != nil {
+		log.Printf("flock-serve: monitor baseline skipped: %v", err)
+		return nil
+	}
+	mon.Observe(scores[split:]...)
+	return mon
+}

@@ -1,14 +1,21 @@
-// Quickstart: the core Flock loop in ~60 lines — load data into the
-// engine, train a pipeline "in the cloud", deploy it as a first-class
-// model, and score it in SQL with PREDICT.
+// Quickstart: the core Flock loop — load data into the engine, train a
+// pipeline "in the cloud", deploy it as a first-class model, score it in
+// SQL with PREDICT, then serve the whole thing over HTTP with sessions,
+// governance and graceful shutdown (see docs/server.md).
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ml"
+	"repro/internal/server"
 )
 
 func main() {
@@ -84,6 +91,63 @@ func main() {
 		flock.Audit.Len(), flock.Audit.Verify() == -1)
 	nodes, edges := flock.Catalog.Size()
 	fmt.Printf("provenance catalog: %d nodes, %d edges\n", nodes, edges)
+
+	// 6. Serve it: the same governed loop over HTTP — sessions carry the
+	//    user identity into RBAC/audit, queries get deadlines, and
+	//    shutdown drains cleanly.
+	serveWalkthrough(flock)
+}
+
+// serveWalkthrough starts the serving layer in-process, runs one session
+// through login -> governed PREDICT query -> logout, and shuts down.
+func serveWalkthrough(flock *core.Flock) {
+	srv := server.New(flock, server.Config{
+		MaxWorkers:   4,
+		Authenticate: server.StaticTokenAuth(map[string]string{"demo": "s3cret"}),
+	})
+	go func() {
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for srv.Addr() == "" {
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + srv.Addr()
+	fmt.Printf("\nserving on %s\n", base)
+
+	post := func(path string, body map[string]any) map[string]any {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("%s: %d %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	sess := post("/v1/sessions", map[string]any{"user": "demo", "token": "s3cret"})
+	res := post("/v1/query", map[string]any{
+		"session":    sess["session"],
+		"sql":        "SELECT count(*) FROM customers WHERE PREDICT(churn, age, income, region) > 0.5",
+		"timeout_ms": 2000,
+	})
+	fmt.Printf("high-risk count over HTTP: %v (%.2fms)\n",
+		res["rows"].([]any)[0].([]any)[0], res["elapsed_ms"])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and shut down cleanly")
 }
 
 func mustExec(f *core.Flock, q string) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -81,16 +82,34 @@ func (f *Flock) Exec(user, query string) (*engine.Result, error) {
 	return f.ExecLevel(user, query, f.DB.DefaultLevel)
 }
 
+// ExecContext is Exec with a cancellation context: once ctx is done,
+// execution aborts at the engine's next batch boundary. This is the serving
+// layer's entry point — every session query flows through here so a
+// disconnecting client, an expired deadline, or a server shutdown unwinds
+// the whole statement.
+func (f *Flock) ExecContext(ctx context.Context, user, query string) (*engine.Result, error) {
+	return f.ExecLevelContext(ctx, user, query, f.DB.DefaultLevel)
+}
+
 // ExecLevel is Exec with an explicit optimization level.
 func (f *Flock) ExecLevel(user, query string, level opt.Level) (*engine.Result, error) {
+	return f.ExecLevelContext(context.Background(), user, query, level)
+}
+
+// ExecLevelContext is ExecContext with an explicit optimization level.
+func (f *Flock) ExecLevelContext(ctx context.Context, user, query string, level opt.Level) (*engine.Result, error) {
 	stmts, err := sql.Parse(query)
 	if err != nil {
 		f.Audit.Record(user, "parse", "", truncate(query), false)
 		return nil, err
 	}
+	if len(stmts) == 0 {
+		f.Audit.Record(user, "parse", "", truncate(query), false)
+		return nil, fmt.Errorf("core: empty statement")
+	}
 	var last *engine.Result
 	for _, stmt := range stmts {
-		res, err := f.execOne(user, stmt, level)
+		res, err := f.execOne(ctx, user, stmt, level)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +118,7 @@ func (f *Flock) ExecLevel(user, query string, level opt.Level) (*engine.Result, 
 	return last, nil
 }
 
-func (f *Flock) execOne(user string, stmt sql.Statement, level opt.Level) (*engine.Result, error) {
+func (f *Flock) execOne(ctx context.Context, user string, stmt sql.Statement, level opt.Level) (*engine.Result, error) {
 	text := sql.FormatStatement(stmt)
 	acc := sql.Analyze(stmt)
 
@@ -115,7 +134,7 @@ func (f *Flock) execOne(user string, stmt sql.Statement, level opt.Level) (*engi
 		return nil, err
 	}
 
-	res, err := f.DB.ExecAs(text, user, engine.ExecOptions{Level: level})
+	res, err := f.DB.ExecAsContext(ctx, text, user, engine.ExecOptions{Level: level})
 	f.Audit.Record(user, stmtAction(stmt), firstObject(acc), truncate(text), err == nil)
 	return res, err
 }

@@ -51,6 +51,17 @@ type ModelRegistry struct {
 	db     *engine.DB
 	graphs map[string]*onnx.Graph // "name@version" -> decoded graph
 	metas  map[string][]ModelMeta // name -> versions ascending
+	gen    int64                  // bumped whenever GraphFor resolution can change
+}
+
+// Generation returns a counter that advances whenever model resolution can
+// change (create, promote, transactional deploy, recovery). Plan caches key
+// their validity on it: a cached plan embeds a possibly-rewritten model
+// graph, so any registry change must force a replan.
+func (r *ModelRegistry) Generation() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // NewModelRegistry creates the registry and its backing system table. When
@@ -103,6 +114,7 @@ func (r *ModelRegistry) Create(name, creator string, g *onnx.Graph) (int, error)
 	}
 	r.metas[name] = append(r.metas[name], meta)
 	r.graphs[key(name, version)] = g.Clone()
+	r.gen++
 	return version, nil
 }
 
@@ -159,6 +171,7 @@ func (r *ModelRegistry) promoteLocked(name string, version int, stage Stage) err
 	}
 	versions[idx].Stage = stage
 	r.syncStage(versions[idx])
+	r.gen++
 	return nil
 }
 
@@ -338,5 +351,6 @@ func (r *ModelRegistry) LoadPersisted() error {
 		r.metas[name] = append(r.metas[name], meta)
 		r.graphs[key(name, version)] = g
 	}
+	r.gen++
 	return nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -24,6 +25,10 @@ type evalFunc func(rs *RowSet, row int) (Value, error)
 // through a per-call JSON remote scorer, reproducing the cost profile of a
 // containerized scoring service invoked via HTTP/REST.
 type compileEnv struct {
+	// ctx is the query's cancellation context; row-mode PREDICT polls it
+	// before every scorer call so a hung scoring service cannot wedge the
+	// interpreter loop. nil means no cancellation.
+	ctx        context.Context
 	sessionFor func(model string) (*onnx.Session, error)
 	remoteFor  func(model string) (onnx.Scorer, error)
 }
@@ -626,7 +631,11 @@ func compilePredictUDF(x *sql.Predict, schema Schema, env *compileEnv) (evalFunc
 	for i, in := range g.Inputs {
 		kinds[i] = in.Kind
 	}
+	ctx := env.ctx
 	return func(rs *RowSet, row int) (Value, error) {
+		if err := ctxCheck(ctx); err != nil {
+			return Value{}, err
+		}
 		// One-row batch per invocation: deliberately allocation-heavy,
 		// mirroring per-call UDF marshalling overheads.
 		b := &onnx.Batch{N: 1, Cols: make([]onnx.Column, len(args))}
@@ -648,7 +657,7 @@ func compilePredictUDF(x *sql.Predict, schema Schema, env *compileEnv) (evalFunc
 				b.Cols[i] = onnx.Column{Strs: []string{v.S}}
 			}
 		}
-		out, err := remote.Score(b)
+		out, err := onnx.ScoreWithContext(ctx, remote, b)
 		if err != nil {
 			return Value{}, err
 		}

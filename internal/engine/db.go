@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -199,6 +200,12 @@ func (db *DB) Exec(query string) (*Result, error) {
 	return db.ExecAs(query, "system", ExecOptions{Level: db.DefaultLevel})
 }
 
+// ExecContext is Exec with a cancellation context: execution aborts at the
+// next batch boundary once ctx is done.
+func (db *DB) ExecContext(ctx context.Context, query string) (*Result, error) {
+	return db.ExecAsContext(ctx, query, "system", ExecOptions{Level: db.DefaultLevel})
+}
+
 // ExecLevel executes with an explicit optimization level.
 func (db *DB) ExecLevel(query string, level opt.Level) (*Result, error) {
 	return db.ExecAs(query, "system", ExecOptions{Level: level})
@@ -206,6 +213,11 @@ func (db *DB) ExecLevel(query string, level opt.Level) (*Result, error) {
 
 // ExecAs executes a statement on behalf of a user with explicit options.
 func (db *DB) ExecAs(query, user string, o ExecOptions) (*Result, error) {
+	return db.ExecAsContext(context.Background(), query, user, o)
+}
+
+// ExecAsContext is ExecAs with a cancellation context.
+func (db *DB) ExecAsContext(ctx context.Context, query, user string, o ExecOptions) (*Result, error) {
 	stmts, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -216,7 +228,7 @@ func (db *DB) ExecAs(query, user string, o ExecOptions) (*Result, error) {
 	var last *Result
 	for _, stmt := range stmts {
 		db.appendLog(sql.FormatStatement(stmt), user)
-		res, err := db.ExecStmt(stmt, o)
+		res, err := db.ExecStmtContext(ctx, stmt, o)
 		if err != nil {
 			return nil, err
 		}
@@ -225,11 +237,22 @@ func (db *DB) ExecAs(query, user string, o ExecOptions) (*Result, error) {
 	return last, nil
 }
 
+// LogStatement records an externally-executed statement in the query log
+// (the prepared-statement path logs through here, keeping lazy provenance
+// capture complete).
+func (db *DB) LogStatement(text, user string) { db.appendLog(text, user) }
+
 // ExecStmt executes a parsed statement (without logging).
 func (db *DB) ExecStmt(stmt sql.Statement, o ExecOptions) (*Result, error) {
+	return db.ExecStmtContext(context.Background(), stmt, o)
+}
+
+// ExecStmtContext executes a parsed statement (without logging) under a
+// cancellation context.
+func (db *DB) ExecStmtContext(ctx context.Context, stmt sql.Statement, o ExecOptions) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
-		rs, _, err := db.ExecSelect(s, o)
+		rs, _, err := db.ExecSelectContext(ctx, s, o)
 		if err != nil {
 			return nil, err
 		}
@@ -237,11 +260,11 @@ func (db *DB) ExecStmt(stmt sql.Statement, o ExecOptions) (*Result, error) {
 	case *sql.CreateTableStmt:
 		return db.execCreate(s)
 	case *sql.InsertStmt:
-		return db.execInsert(s)
+		return db.execInsertLevel(ctx, s, o)
 	case *sql.UpdateStmt:
-		return db.execUpdate(s, o)
+		return db.execUpdate(ctx, s, o)
 	case *sql.DeleteStmt:
-		return db.execDelete(s, o)
+		return db.execDelete(ctx, s, o)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 }
@@ -249,38 +272,46 @@ func (db *DB) ExecStmt(stmt sql.Statement, o ExecOptions) (*Result, error) {
 // ExecSelect plans and executes a SELECT, returning the rowset and the
 // optimizer report (for EXPLAIN-style inspection and ablation benches).
 func (db *DB) ExecSelect(s *sql.SelectStmt, o ExecOptions) (*RowSet, *opt.Report, error) {
+	return db.ExecSelectContext(context.Background(), s, o)
+}
+
+// ExecSelectContext is ExecSelect with a cancellation context: the executor
+// polls ctx at operator and batch boundaries, so a canceled query returns
+// within one batch of work.
+func (db *DB) ExecSelectContext(ctx context.Context, s *sql.SelectStmt, o ExecOptions) (*RowSet, *opt.Report, error) {
+	plan, err := db.PlanSelect(s, o.Level)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := db.ExecPlanContext(ctx, plan, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, &plan.Report, nil
+}
+
+// PlanSelect lowers a SELECT into an optimized plan without executing it —
+// the planning half of ExecSelect, exposed for plan caching (prepared
+// statements reuse the plan across calls).
+func (db *DB) PlanSelect(s *sql.SelectStmt, level opt.Level) (*opt.Plan, error) {
 	db.mu.RLock()
 	provider := db.models
 	db.mu.RUnlock()
 	if provider == nil {
 		provider = noModels{}
 	}
+	// At LevelUDF there is no ML-aware planning at all; PREDICT stays a
+	// scalar call inside expressions.
+	return opt.PlanSelect(s, provider, db, level)
+}
 
-	ex := &executor{db: db, o: o, env: &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}}
-
-	if o.Level == opt.LevelUDF {
-		// UDF mode: no ML-aware planning at all; PREDICT stays a scalar
-		// call inside expressions.
-		plan, err := opt.PlanSelect(s, provider, db, opt.LevelUDF)
-		if err != nil {
-			return nil, nil, err
-		}
-		rs, err := ex.exec(plan.Root)
-		if err != nil {
-			return nil, nil, err
-		}
-		return rs, &plan.Report, nil
-	}
-
-	plan, err := opt.PlanSelect(s, provider, db, o.Level)
-	if err != nil {
-		return nil, nil, err
-	}
-	rs, err := ex.exec(plan.Root)
-	if err != nil {
-		return nil, nil, err
-	}
-	return rs, &plan.Report, nil
+// ExecPlanContext executes a previously planned SELECT. Callers caching
+// plans must revalidate them against table versions and the model registry
+// generation (see core.Prepared).
+func (db *DB) ExecPlanContext(ctx context.Context, plan *opt.Plan, o ExecOptions) (*RowSet, error) {
+	ex := &executor{ctx: ctx, db: db, o: o,
+		env: &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}}
+	return ex.exec(plan.Root)
 }
 
 // noModels is the provider used when none is configured: every lookup fails.

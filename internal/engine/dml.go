@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sql"
@@ -56,11 +57,21 @@ func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) execInsert(s *sql.InsertStmt) (*Result, error) {
-	return db.execInsertLevel(s, ExecOptions{Level: db.DefaultLevel})
+// ctxCheck polls ctx without blocking (the DML loops' cancellation
+// checkpoint; nil never cancels).
+func ctxCheck(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
-func (db *DB) execInsertLevel(s *sql.InsertStmt, o ExecOptions) (*Result, error) {
+func (db *DB) execInsertLevel(ctx context.Context, s *sql.InsertStmt, o ExecOptions) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -83,10 +94,15 @@ func (db *DB) execInsertLevel(s *sql.InsertStmt, o ExecOptions) (*Result, error)
 		}
 	}
 
-	// INSERT ... SELECT: run the query, then append its rows (the batch
-	// prediction write-back path: INSERT INTO scores SELECT id, PREDICT...).
+	// Evaluate every row BEFORE applying any: cancellation and evaluation
+	// errors can then only abort a statement that has written nothing —
+	// a canceled INSERT never leaves a torn partial write behind.
+	var buffered [][]Value
+
 	if s.Query != nil {
-		rs, _, err := db.ExecSelect(s.Query, o)
+		// INSERT ... SELECT: run the query, then append its rows (the batch
+		// prediction write-back path: INSERT INTO scores SELECT id, PREDICT...).
+		rs, _, err := db.ExecSelectContext(ctx, s.Query, o)
 		if err != nil {
 			return nil, err
 		}
@@ -94,8 +110,13 @@ func (db *DB) execInsertLevel(s *sql.InsertStmt, o ExecOptions) (*Result, error)
 			return nil, fmt.Errorf("engine: INSERT ... SELECT produces %d columns for %d targets",
 				len(rs.Cols), len(target))
 		}
-		var affected int64
+		buffered = make([][]Value, 0, rs.N)
 		for r := 0; r < rs.N; r++ {
+			if r%cancelBatchRows == 0 {
+				if err := ctxCheck(ctx); err != nil {
+					return nil, err
+				}
+			}
 			vals := make([]Value, len(schema))
 			assigned := make([]bool, len(schema))
 			for i := range target {
@@ -107,56 +128,67 @@ func (db *DB) execInsertLevel(s *sql.InsertStmt, o ExecOptions) (*Result, error)
 					vals[i] = NullValue()
 				}
 			}
-			if err := t.AppendRow(vals); err != nil {
-				return nil, err
-			}
-			affected++
+			buffered = append(buffered, vals)
 		}
-		return &Result{Affected: affected}, nil
+	} else {
+		env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+		oneRow := &RowSet{N: 1}
+		buffered = make([][]Value, 0, len(s.Rows))
+		for _, row := range s.Rows {
+			if len(row) != len(target) {
+				return nil, fmt.Errorf("engine: INSERT row has %d values for %d columns", len(row), len(target))
+			}
+			vals := make([]Value, len(schema))
+			assigned := make([]bool, len(schema))
+			for i, e := range row {
+				fn, err := compileExpr(e, nil, env)
+				if err != nil {
+					return nil, err
+				}
+				v, err := fn(oneRow, 0)
+				if err != nil {
+					return nil, err
+				}
+				vals[target[i]] = v
+				assigned[target[i]] = true
+			}
+			for i := range vals {
+				if !assigned[i] {
+					vals[i] = NullValue()
+				}
+			}
+			buffered = append(buffered, vals)
+		}
 	}
 
-	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
-	oneRow := &RowSet{N: 1}
-	var affected int64
-	for _, row := range s.Rows {
-		if len(row) != len(target) {
-			return nil, fmt.Errorf("engine: INSERT row has %d values for %d columns", len(row), len(target))
-		}
-		vals := make([]Value, len(schema))
-		assigned := make([]bool, len(schema))
-		for i, e := range row {
-			fn, err := compileExpr(e, nil, env)
-			if err != nil {
-				return nil, err
-			}
-			v, err := fn(oneRow, 0)
-			if err != nil {
-				return nil, err
-			}
-			vals[target[i]] = v
-			assigned[target[i]] = true
-		}
-		for i := range vals {
-			if !assigned[i] {
-				vals[i] = NullValue()
-			}
-		}
-		if err := t.AppendRow(vals); err != nil {
-			return nil, err
-		}
-		affected++
+	// Apply under the statement-level write lock so the batch append cannot
+	// interleave with a concurrent UPDATE/DELETE rebuild of the same table.
+	// AppendRows is all-or-nothing and bumps the version once, so neither
+	// cancellation nor a type error can commit a torn partial write.
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	if err := ctxCheck(ctx); err != nil {
+		return nil, err
 	}
-	return &Result{Affected: affected}, nil
+	if err := t.AppendRows(buffered); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: int64(len(buffered))}, nil
 }
 
-func (db *DB) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
+func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	// Statement-level write exclusion: the snapshot -> rebuild -> replace
+	// sequence must not interleave with another writer, or that writer's
+	// rows would be silently dropped by ReplaceColumns.
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
 	cols, schema, n := t.snapshot()
 	rs := &RowSet{Schema: schema, Cols: cols, N: n}
-	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+	env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}
 
 	hits, err := whereMask(s.Where, rs, env)
 	if err != nil {
@@ -186,6 +218,11 @@ func (db *DB) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
 	}
 	var affected int64
 	for r := 0; r < n; r++ {
+		if r%cancelBatchRows == 0 {
+			if err := ctxCheck(ctx); err != nil {
+				return nil, err
+			}
+		}
 		hit := hits == nil || hits[r]
 		rowVals := make([]Value, len(cols))
 		for c := range cols {
@@ -213,14 +250,16 @@ func (db *DB) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-func (db *DB) execDelete(s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
+func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
 	cols, schema, n := t.snapshot()
 	rs := &RowSet{Schema: schema, Cols: cols, N: n}
-	env := &compileEnv{sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+	env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}
 
 	hits, err := whereMask(s.Where, rs, env)
 	if err != nil {
@@ -229,6 +268,11 @@ func (db *DB) execDelete(s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
 	var keep []int32
 	var affected int64
 	for r := 0; r < n; r++ {
+		if r%cancelBatchRows == 0 {
+			if err := ctxCheck(ctx); err != nil {
+				return nil, err
+			}
+		}
 		hit := hits == nil || hits[r]
 		if hit {
 			affected++

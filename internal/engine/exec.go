@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -27,11 +28,21 @@ const parallelThreshold = 8192
 // predictChunk is the vectorized inference batch size.
 const predictChunk = 4096
 
+// cancelBatchRows is the row granularity of cancellation checkpoints inside
+// long kernel loops: a canceled query aborts at the next batch boundary, so
+// the hot path stays branch-free within a batch.
+const cancelBatchRows = 16384
+
 type executor struct {
+	ctx context.Context
 	db  *DB
 	o   ExecOptions
 	env *compileEnv
 }
+
+// checkCtx is the cancellation checkpoint: it polls the query context
+// without blocking. A nil context never cancels.
+func (ex *executor) checkCtx() error { return ctxCheck(ex.ctx) }
 
 func (ex *executor) workers(n int) int {
 	if ex.o.Level < opt.LevelParallel || n < parallelThreshold {
@@ -65,6 +76,9 @@ func partition(n, w int) [][2]int {
 }
 
 func (ex *executor) exec(node opt.Node) (*RowSet, error) {
+	if err := ex.checkCtx(); err != nil {
+		return nil, err
+	}
 	switch n := node.(type) {
 	case nil:
 		return &RowSet{N: 1}, nil // FROM-less SELECT
@@ -142,14 +156,10 @@ func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 	}
 	w := ex.workers(rs.N)
 	if w <= 1 {
-		v, err := fn(rs)
+		sel, err := ex.filterRange(fn, rs, 0, rs.N)
 		if err != nil {
 			return nil, err
 		}
-		if err := v.pendingErr(rs.N); err != nil {
-			return nil, err
-		}
-		sel := appendTrue(make([]int32, 0, rs.N/4+1), v, rs.N, 0)
 		if len(sel) == rs.N {
 			return rs, nil
 		}
@@ -163,16 +173,7 @@ func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 		wg.Add(1)
 		go func(pi int, lo, hi int) {
 			defer wg.Done()
-			part := rs.Slice(lo, hi)
-			v, err := fn(part)
-			if err == nil {
-				err = v.pendingErr(hi - lo)
-			}
-			if err != nil {
-				errs[pi] = err
-				return
-			}
-			sels[pi] = appendTrue(nil, v, hi-lo, lo)
+			sels[pi], errs[pi] = ex.filterRange(fn, rs, lo, hi)
 		}(pi, pr[0], pr[1])
 	}
 	wg.Wait()
@@ -193,6 +194,33 @@ func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 		return rs, nil
 	}
 	return rs.Gather(sel), nil
+}
+
+// filterRange evaluates the compiled predicate over rows [lo, hi) of rs in
+// cancellation-sized batches and returns the absolute selection vector.
+// Each batch is a zero-copy slice; the context is polled between batches so
+// a canceled query stops within one batch boundary.
+func (ex *executor) filterRange(fn vecFunc, rs *RowSet, lo, hi int) ([]int32, error) {
+	sel := make([]int32, 0, (hi-lo)/4+1)
+	for blo := lo; blo < hi; blo += cancelBatchRows {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
+		bhi := blo + cancelBatchRows
+		if bhi > hi {
+			bhi = hi
+		}
+		part := rs.Slice(blo, bhi)
+		v, err := fn(part)
+		if err == nil {
+			err = v.pendingErr(bhi - blo)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sel = appendTrue(sel, v, bhi-blo, blo)
+	}
+	return sel, nil
 }
 
 // execPredict runs the vectorized inference operator: it binds the argument
@@ -255,6 +283,12 @@ func (ex *executor) execPredict(n *opt.Predict) (*RowSet, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for clo := lo; clo < hi; clo += predictChunk {
+				if err := ex.checkCtx(); err != nil {
+					mu.Lock()
+					runErr = err
+					mu.Unlock()
+					return
+				}
 				chi := clo + predictChunk
 				if chi > hi {
 					chi = hi
@@ -360,6 +394,11 @@ func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
 		}
 		var lsel, rsel []int32
 		for l := 0; l < left.N; l++ {
+			if l%cancelBatchRows == 0 {
+				if err := ex.checkCtx(); err != nil {
+					return nil, err
+				}
+			}
 			for r := 0; r < right.N; r++ {
 				lsel = append(lsel, int32(l))
 				rsel = append(rsel, int32(r))
@@ -392,6 +431,11 @@ func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
 	jt := buildJoinTable(rightVecs, right.N, modes)
 	var matches []int32
 	for l := 0; l < left.N; l++ {
+		if l%cancelBatchRows == 0 {
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
+		}
 		matches = jt.probe(leftVecs, l, matches[:0])
 		if len(matches) == 0 {
 			if n.Type == sql.JoinLeft {
@@ -510,6 +554,9 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 	// dense group ids.
 	keyVecs := make([]*Vec, len(n.GroupBy))
 	for i, g := range n.GroupBy {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		fn, err := compileVec(g, in.Schema, ex.env)
 		if err != nil {
 			return nil, err
@@ -532,6 +579,9 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 
 	accs := make([]*aggAcc, len(n.Aggs))
 	for ai, spec := range n.Aggs {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		a := &aggAcc{count: make([]int64, G)}
 		accs[ai] = a
 		if spec.Arg == nil {
@@ -584,6 +634,11 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 		outCols = append(outCols, NewColumn(t))
 	}
 	for g := 0; g < G; g++ {
+		if g%cancelBatchRows == 0 {
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
+		}
 		for i := range n.GroupNames {
 			if err := outCols[i].Append(keyVecs[i].valueAt(int(gt.groupRows[g]))); err != nil {
 				return nil, err
@@ -811,6 +866,9 @@ func (ex *executor) execProject(n *opt.Project) (*RowSet, error) {
 	outSchema := make(Schema, len(n.Exprs))
 	outCols := make([]Column, len(n.Exprs))
 	for i, e := range n.Exprs {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		// Fast path: bare column references alias storage.
 		if cr, ok := e.(*sql.ColRef); ok {
 			idx, err := in.Schema.Resolve(cr.Table, cr.Name)
@@ -873,6 +931,9 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 	// slices instead of boxed per-row values.
 	keyVecs := make([]*Vec, len(n.Keys))
 	for i, k := range n.Keys {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		fn, err := compileVec(k.Expr, in.Schema, ex.env)
 		if err != nil {
 			return nil, err

@@ -202,6 +202,12 @@ type Table struct {
 	cols    []Column
 	version int64
 
+	// writeMu serializes whole DML statements (not individual appends):
+	// UPDATE/DELETE are snapshot -> rebuild -> replace, so without
+	// statement-level exclusion a write committed between the snapshot and
+	// the replace would be silently lost under concurrent sessions.
+	writeMu sync.Mutex
+
 	history []tableSnapshot
 	retain  int
 
@@ -350,19 +356,40 @@ func truncateCol(c Column, n int) Column {
 	return c
 }
 
-// AppendRow appends one row of values.
+// AppendRow appends one row of values atomically: on a type error nothing
+// is committed (no ragged columns, no version bump).
 func (t *Table) AppendRow(vals []Value) error {
+	return t.AppendRows([][]Value{vals})
+}
+
+// AppendRows appends a batch of rows as ONE write: either every row lands
+// or none does, the table version bumps once, and time travel sees a
+// single new version — the INSERT paths' statement-level atomicity.
+//
+// Rows are appended to copies of the column headers and swapped in only on
+// success; a mid-batch error therefore cannot leave ragged columns or a
+// torn prefix. (Appends may land in shared backing arrays beyond the
+// committed length, which snapshots never observe.)
+func (t *Table) AppendRows(rows [][]Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(vals) != len(t.cols) {
-		return fmt.Errorf("engine: table %s has %d columns, got %d values", t.Name, len(t.cols), len(vals))
+	if len(rows) == 0 {
+		return nil
 	}
-	t.recordVersionLocked()
-	for i := range vals {
-		if err := t.cols[i].Append(vals[i]); err != nil {
-			return fmt.Errorf("engine: table %s column %s: %w", t.Name, t.schema[i].Name, err)
+	newCols := make([]Column, len(t.cols))
+	copy(newCols, t.cols)
+	for _, vals := range rows {
+		if len(vals) != len(newCols) {
+			return fmt.Errorf("engine: table %s has %d columns, got %d values", t.Name, len(newCols), len(vals))
+		}
+		for i := range vals {
+			if err := newCols[i].Append(vals[i]); err != nil {
+				return fmt.Errorf("engine: table %s column %s: %w", t.Name, t.schema[i].Name, err)
+			}
 		}
 	}
+	t.recordVersionLocked() // snapshots t.cols, still the pre-write state
+	t.cols = newCols
 	t.version++
 	return nil
 }

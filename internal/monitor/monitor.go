@@ -28,6 +28,20 @@ const (
 	Severe                      // PSI >= 0.25
 )
 
+// StatusOf classifies a PSI value with the conventional thresholds —
+// shared by Check and external exporters (e.g. the serving layer's
+// /metrics endpoint) so the cutoffs live in one place.
+func StatusOf(psi float64) DriftStatus {
+	switch {
+	case psi >= 0.25:
+		return Severe
+	case psi >= 0.1:
+		return Moderate
+	default:
+		return Stable
+	}
+}
+
 func (s DriftStatus) String() string {
 	switch s {
 	case Stable:
@@ -163,13 +177,7 @@ func (m *ScoreMonitor) Check() (DriftStatus, float64, error) {
 	if err != nil {
 		return Stable, 0, err
 	}
-	status := Stable
-	switch {
-	case psi >= 0.25:
-		status = Severe
-	case psi >= 0.1:
-		status = Moderate
-	}
+	status := StatusOf(psi)
 	if status != Stable {
 		m.alerts = append(m.alerts, Alert{At: time.Now(), Model: m.Model, PSI: psi, Status: status})
 	}

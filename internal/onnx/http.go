@@ -2,11 +2,13 @@ package onnx
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"time"
 )
 
 // Scorer is anything that can score a batch; implemented by Session-backed
@@ -15,19 +17,75 @@ type Scorer interface {
 	Score(b *Batch) ([]float64, error)
 }
 
+// ContextScorer is a Scorer whose requests can be canceled. Scorers backed
+// by a network service implement it so a hung endpoint cannot wedge the
+// calling query.
+type ContextScorer interface {
+	Scorer
+	ScoreContext(ctx context.Context, b *Batch) ([]float64, error)
+}
+
+// ScoreWithContext scores through ScoreContext when the scorer supports
+// cancellation, falling back to plain Score. A nil context means no
+// cancellation.
+func ScoreWithContext(ctx context.Context, s Scorer, b *Batch) ([]float64, error) {
+	if cs, ok := s.(ContextScorer); ok && ctx != nil {
+		return cs.ScoreContext(ctx, b)
+	}
+	return s.Score(b)
+}
+
+// ServerOptions tunes a ScoringServer's request handling.
+type ServerOptions struct {
+	// ReadTimeout bounds reading one request (header + body); defaults to
+	// 10s. A stalled client cannot pin a connection forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response; defaults to 30s.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight requests to
+	// finish before force-closing connections; defaults to 5s.
+	DrainTimeout time.Duration
+}
+
+func (o *ServerOptions) withDefaults() ServerOptions {
+	out := ServerOptions{ReadTimeout: 10 * time.Second, WriteTimeout: 30 * time.Second, DrainTimeout: 5 * time.Second}
+	if o == nil {
+		return out
+	}
+	if o.ReadTimeout > 0 {
+		out.ReadTimeout = o.ReadTimeout
+	}
+	if o.WriteTimeout > 0 {
+		out.WriteTimeout = o.WriteTimeout
+	}
+	if o.DrainTimeout > 0 {
+		out.DrainTimeout = o.DrainTimeout
+	}
+	return out
+}
+
 // ScoringServer is a real HTTP scoring service on the loopback interface —
 // the containerized model deployment of §4.1, minus the container: requests
 // pay genuine TCP, HTTP and JSON costs.
 type ScoringServer struct {
-	URL  string
-	sess *Session
-	ln   net.Listener
-	srv  *http.Server
+	URL   string
+	sess  *Session
+	ln    net.Listener
+	srv   *http.Server
+	drain time.Duration
 }
 
-// ServeGraph starts a scoring service for g on 127.0.0.1:0 and returns
-// once it accepts connections. Close it when done.
+// ServeGraph starts a scoring service for g on 127.0.0.1:0 with default
+// request timeouts and returns once it accepts connections. Close it when
+// done.
 func ServeGraph(g *Graph) (*ScoringServer, error) {
+	return ServeGraphOpts(g, nil)
+}
+
+// ServeGraphOpts is ServeGraph with explicit request-timeout and drain
+// options (nil means defaults).
+func ServeGraphOpts(g *Graph, opts *ServerOptions) (*ScoringServer, error) {
+	o := opts.withDefaults()
 	sess, err := NewSession(g)
 	if err != nil {
 		return nil, err
@@ -36,10 +94,14 @@ func ServeGraph(g *Graph) (*ScoringServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onnx: scoring server: %w", err)
 	}
-	s := &ScoringServer{sess: sess, ln: ln}
+	s := &ScoringServer{sess: sess, ln: ln, drain: o.DrainTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/score", s.handleScore)
-	s.srv = &http.Server{Handler: mux}
+	s.srv = &http.Server{
+		Handler:      mux,
+		ReadTimeout:  o.ReadTimeout,
+		WriteTimeout: o.WriteTimeout,
+	}
 	s.URL = "http://" + ln.Addr().String() + "/score"
 	go func() {
 		// Serve exits with ErrServerClosed on Close; nothing to do.
@@ -71,8 +133,17 @@ func (s *ScoringServer) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Close shuts the service down.
-func (s *ScoringServer) Close() error { return s.srv.Close() }
+// Close shuts the service down gracefully: it stops accepting connections,
+// waits up to the drain timeout for in-flight requests to complete, then
+// force-closes whatever remains.
+func (s *ScoringServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
 
 // HTTPScorer scores batches against a ScoringServer endpoint, chunking
 // rows per request like a REST client would.
@@ -84,16 +155,34 @@ type HTTPScorer struct {
 }
 
 // NewHTTPScorer builds a client for the given endpoint. chunkRows defaults
-// to 1000.
+// to 1000. Requests carry a 60s safety timeout — raise or clear it with
+// SetTimeout for slow backends, and use ScoreContext for per-query
+// deadlines.
 func NewHTTPScorer(g *Graph, url string, chunkRows int) *HTTPScorer {
 	if chunkRows <= 0 {
 		chunkRows = 1000
 	}
-	return &HTTPScorer{url: url, graph: g, chunkRows: chunkRows, client: &http.Client{}}
+	return &HTTPScorer{url: url, graph: g, chunkRows: chunkRows,
+		client: &http.Client{Timeout: 60 * time.Second}}
 }
+
+// SetTimeout replaces the per-request safety timeout (0 disables it,
+// restoring the pre-timeout behavior; cancellation then comes only from
+// ScoreContext).
+func (hs *HTTPScorer) SetTimeout(d time.Duration) { hs.client.Timeout = d }
 
 // Score POSTs the batch chunk by chunk and collects the scores.
 func (hs *HTTPScorer) Score(b *Batch) ([]float64, error) {
+	return hs.ScoreContext(context.Background(), b)
+}
+
+// ScoreContext is Score under a cancellation context: an in-flight request
+// aborts as soon as ctx is done, so a hung scoring service cannot wedge the
+// calling query.
+func (hs *HTTPScorer) ScoreContext(ctx context.Context, b *Batch) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]float64, 0, b.N)
 	for lo := 0; lo < b.N; lo += hs.chunkRows {
 		hi := lo + hs.chunkRows
@@ -104,8 +193,17 @@ func (hs *HTTPScorer) Score(b *Batch) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := hs.client.Post(hs.url, "application/json", bytes.NewReader(wire))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.url, bytes.NewReader(wire))
 		if err != nil {
+			return nil, fmt.Errorf("onnx: http scorer: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hs.client.Do(req)
+		if err != nil {
+			// Surface the cancellation cause rather than the wrapped url.Error.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("onnx: http scorer: %w", err)
 		}
 		body, err := io.ReadAll(resp.Body)

@@ -1,0 +1,157 @@
+package onnx
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ml"
+)
+
+// TestHTTPScorerContextCancel points the scorer at an endpoint that never
+// answers and proves cancellation unwinds the in-flight request promptly —
+// a hung model service cannot wedge the caller.
+func TestHTTPScorerContextCancel(t *testing.T) {
+	p, f, _ := trainedPipeline(t, &ml.GradientBoosting{NTrees: 5, Loss: ml.LossLogistic}, 100)
+	g, err := Export(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		// Hold the request open until the test ends (the client must
+		// escape via its own context, not because we answered).
+		<-unblock
+	}))
+	defer hang.Close()
+	defer close(unblock) // LIFO: unblocks the handler before hang.Close waits
+
+	client := NewHTTPScorer(g, hang.URL, 0)
+	b, err := BatchFromFrame(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.ScoreContext(ctx, b)
+		done <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never reached the hung service")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled scoring call did not return")
+	}
+}
+
+// TestScoringServerCloseDrainsInFlight holds a request half-sent while
+// Close begins: graceful shutdown must wait for the in-flight request and
+// serve its response instead of dropping the connection.
+func TestScoringServerCloseDrainsInFlight(t *testing.T) {
+	p, f, _ := trainedPipeline(t, &ml.GradientBoosting{NTrees: 5, Loss: ml.LossLogistic}, 200)
+	g, err := Export(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeGraph(g)
+	if err != nil {
+		t.Skipf("loopback listener unavailable: %v", err)
+	}
+	b, err := BatchFromFrame(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := encodeBatchJSON(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := srv.URL[len("http://") : len(srv.URL)-len("/score")]
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send the header and half the body, so the server is mid-request...
+	fmt.Fprintf(conn, "POST /score HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(wire))
+	if _, err := conn.Write(wire[:len(wire)/2]); err != nil {
+		t.Fatal(err)
+	}
+	// ...then start the graceful close while the request is in flight.
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- srv.Close() }()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := conn.Write(wire[len(wire)/2:]); err != nil {
+		t.Fatalf("connection dropped mid-request during close: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no response to in-flight request during close: %v", err)
+	}
+	if !strings.Contains(status, "200") {
+		t.Fatalf("in-flight request failed during close: %q", status)
+	}
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("graceful close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("close never returned")
+	}
+}
+
+// TestScoringServerReadTimeout proves a stalled client cannot pin a
+// connection past the configured read timeout.
+func TestScoringServerReadTimeout(t *testing.T) {
+	p, _, _ := trainedPipeline(t, &ml.GradientBoosting{NTrees: 5, Loss: ml.LossLogistic}, 100)
+	g, err := Export(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeGraphOpts(g, &ServerOptions{ReadTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Skipf("loopback listener unavailable: %v", err)
+	}
+	defer srv.Close()
+
+	addr := srv.URL[len("http://") : len(srv.URL)-len("/score")]
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial request and stall; the server must hang up.
+	if _, err := conn.Write([]byte("POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		// A response byte also means the server refused to wait (4xx) — but
+		// with a stalled body it should simply close the connection.
+		t.Log("server answered instead of closing; acceptable")
+	}
+}

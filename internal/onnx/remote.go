@@ -2,6 +2,7 @@ package onnx
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -52,8 +53,21 @@ func NewRemoteScorerJSON(g *Graph, chunkRows int) (*RemoteScorer, error) {
 // Score ships the batch to the "service" chunk by chunk and collects the
 // scores. Each chunk pays full serialize/copy/deserialize costs both ways.
 func (rs *RemoteScorer) Score(b *Batch) ([]float64, error) {
+	return rs.ScoreContext(context.Background(), b)
+}
+
+// ScoreContext is Score with a cancellation checkpoint between request
+// chunks, mirroring the HTTP scorer's contract.
+func (rs *RemoteScorer) ScoreContext(ctx context.Context, b *Batch) ([]float64, error) {
 	out := make([]float64, 0, b.N)
 	for lo := 0; lo < b.N; lo += rs.chunkRows {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		hi := lo + rs.chunkRows
 		if hi > b.N {
 			hi = b.N

@@ -168,6 +168,22 @@ func (c *Catalog) Get(id string) *Entity {
 	return c.entities[id]
 }
 
+// SetAttr sets one attribute on a stored entity under the catalog lock.
+// Entity pointers are shared across capture modules, so attribute writes
+// must be synchronized here rather than mutating Entity.Attrs directly.
+func (c *Catalog) SetAttr(id, key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entities[id]
+	if e == nil {
+		return
+	}
+	if e.Attrs == nil {
+		e.Attrs = map[string]string{}
+	}
+	e.Attrs[key] = value
+}
+
 // AddEdge inserts a deduplicated, labeled edge.
 func (c *Catalog) AddEdge(from, to, label string) {
 	c.mu.Lock()

@@ -3,6 +3,7 @@ package provenance
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/sql"
@@ -12,9 +13,12 @@ import (
 // provenance (input tables and columns, written tables, scored models) from
 // statements and populates the catalog. It supports the paper's two capture
 // modes: eager (per statement, as it executes) and lazy (batch, from the
-// database's query log).
+// database's query log). Trackers are safe for concurrent capture: the
+// query sequence is guarded here and all graph mutations go through the
+// (locked) catalog.
 type SQLTracker struct {
 	catalog  *Catalog
+	mu       sync.Mutex
 	querySeq int
 }
 
@@ -32,6 +36,12 @@ func (tr *SQLTracker) CaptureQuery(query, user string) (*Entity, error) {
 		return nil, fmt.Errorf("provenance: %w", err)
 	}
 	return tr.captureStmt(stmt, query, user), nil
+}
+
+// CaptureStmt eagerly captures provenance for an already-parsed statement —
+// the prepared-statement path, which must not pay a reparse per execution.
+func (tr *SQLTracker) CaptureStmt(stmt sql.Statement, text, user string) *Entity {
+	return tr.captureStmt(stmt, text, user)
 }
 
 // CaptureLog lazily captures provenance from a query log, reconstructing
@@ -53,8 +63,11 @@ func (tr *SQLTracker) CaptureLog(log []engine.LogEntry) (captured, skipped int) 
 
 func (tr *SQLTracker) captureStmt(stmt sql.Statement, text, user string) *Entity {
 	acc := sql.Analyze(stmt)
+	tr.mu.Lock()
 	tr.querySeq++
-	q := tr.catalog.NewVersion(TypeQuery, "q"+strconv.Itoa(tr.querySeq), map[string]string{
+	seq := tr.querySeq
+	tr.mu.Unlock()
+	q := tr.catalog.NewVersion(TypeQuery, "q"+strconv.Itoa(seq), map[string]string{
 		"text": text,
 		"kind": stmtKind(stmt),
 	})
@@ -225,18 +238,12 @@ func (tr *SQLTracker) RecordTraining(model string, version int, script string, t
 	}
 	for k, v := range hyperparams {
 		he := tr.catalog.Ensure(TypeHyperparam, name+"."+k)
-		if he.Attrs == nil {
-			he.Attrs = map[string]string{}
-		}
-		he.Attrs["value"] = v
+		tr.catalog.SetAttr(he.ID, "value", v)
 		tr.catalog.AddEdge(mv.ID, he.ID, EdgeHasParam)
 	}
 	for k, v := range metrics {
 		me := tr.catalog.Ensure(TypeMetric, name+"."+k)
-		if me.Attrs == nil {
-			me.Attrs = map[string]string{}
-		}
-		me.Attrs["value"] = v
+		tr.catalog.SetAttr(me.ID, "value", v)
 		tr.catalog.AddEdge(mv.ID, me.ID, EdgeHasMetric)
 	}
 	return mv

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull rejects a query when the admission wait queue is at capacity
+// — load shedding at the door instead of collapse under the load.
+var errQueueFull = errors.New("server: admission queue full, try again later")
+
+// admission is the bounded-concurrency gate in front of the engine: at most
+// `workers` queries execute at once; up to `maxQueue` more wait for a slot;
+// beyond that, requests are rejected immediately. Waiting respects the
+// query context, so deadlines and disconnects apply while queued too.
+type admission struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+	met      *metrics
+}
+
+func newAdmission(workers, maxQueue int, met *metrics) *admission {
+	return &admission{sem: make(chan struct{}, workers), maxQueue: int64(maxQueue), met: met}
+}
+
+// acquire blocks until a worker slot is free, the queue overflows, or ctx
+// is done. On nil return the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a slot is free, no queueing.
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.met.admissionRejected.Add(1)
+		return errQueueFull
+	}
+	defer a.queued.Add(-1)
+	start := time.Now()
+	select {
+	case a.sem <- struct{}{}:
+		a.met.admissionWait.observe(time.Since(start).Seconds())
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+// planCache is an LRU of prepared statements keyed on (SQL, opt.Level).
+// Each entry also carries a deterministic handle ("ps_<hash>") that
+// /v1/exec resolves through the same LRU, so prepared-statement state is
+// bounded by the cache capacity — a client preparing per request cannot
+// grow server memory. Staleness is NOT the cache's problem: core.Prepared
+// revalidates its plan against table versions and the model-registry
+// generation on every execution, so the cache only ever amortizes work,
+// never serves stale results.
+type planCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+	byHandle map[string]*list.Element
+	met      *metrics
+}
+
+type planCacheEntry struct {
+	key    string
+	handle string
+	p      *core.Prepared
+}
+
+func newPlanCache(capacity int, met *metrics) *planCache {
+	return &planCache{
+		cap: capacity, ll: list.New(),
+		m: map[string]*list.Element{}, byHandle: map[string]*list.Element{},
+		met: met,
+	}
+}
+
+func planKey(sql string, level opt.Level) string {
+	return strconv.Itoa(int(level)) + "\x00" + sql
+}
+
+// handleOf derives the stable statement handle for a cache key: the same
+// (SQL, level) always yields the same handle, so clients may cache it.
+func handleOf(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return "ps_" + hex.EncodeToString(sum[:12])
+}
+
+// get returns the cached statement and its handle, if present.
+func (c *planCache) get(key string) (*core.Prepared, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.met.planMisses.Add(1)
+		return nil, "", false
+	}
+	c.ll.MoveToFront(el)
+	c.met.planHits.Add(1)
+	e := el.Value.(*planCacheEntry)
+	return e.p, e.handle, true
+}
+
+// getByHandle resolves a prepared handle, touching the entry. A handle
+// evicted from the LRU no longer resolves; the client re-prepares.
+func (c *planCache) getByHandle(handle string) (*core.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byHandle[handle]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).p, true
+}
+
+// put inserts (or refreshes) an entry and returns its handle, evicting the
+// least-recently-used entries beyond capacity.
+func (c *planCache) put(key string, p *core.Prepared) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*planCacheEntry)
+		e.p = p
+		return e.handle
+	}
+	e := &planCacheEntry{key: key, handle: handleOf(key), p: p}
+	el := c.ll.PushFront(e)
+	c.m[key] = el
+	c.byHandle[e.handle] = el
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		be := back.Value.(*planCacheEntry)
+		delete(c.m, be.key)
+		delete(c.byHandle, be.handle)
+		c.met.planEvictions.Add(1)
+	}
+	return e.handle
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

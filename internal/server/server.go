@@ -1,0 +1,631 @@
+// Package server is the concurrent SQL/PREDICT serving layer over
+// core.Flock: an HTTP+JSON front end with authenticated sessions (session
+// identity feeds the existing governance and audit path), prepared
+// statements backed by an LRU plan cache, admission control (bounded worker
+// pool plus a bounded wait queue with rejection), per-query deadlines,
+// streaming result encoding, a Prometheus-style /metrics endpoint, and
+// graceful shutdown with engine-wide cancellation — the seam the paper's
+// "heavy traffic from millions of users" scaling work plugs into.
+//
+// Wire API (JSON bodies unless noted):
+//
+//	POST   /v1/sessions        {user, token}            -> {session, user}
+//	DELETE /v1/sessions/{id}                            -> 204
+//	POST   /v1/query           {session, sql, timeout_ms, level, stream}
+//	POST   /v1/prepare         {session, sql, level}    -> {stmt, kind, cached}
+//	POST   /v1/exec            {session, stmt, timeout_ms, stream}
+//	GET    /metrics            Prometheus text exposition
+//	GET    /healthz            {"status":"ok"}
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/governance"
+	"repro/internal/monitor"
+	"repro/internal/opt"
+)
+
+// Config tunes the serving layer. The zero value gets sane defaults from
+// normalize.
+type Config struct {
+	// MaxWorkers bounds concurrently executing queries; defaults to
+	// GOMAXPROCS (at least 4).
+	MaxWorkers int
+	// MaxQueue bounds queries waiting for a worker slot; beyond it requests
+	// are rejected with 503. Defaults to 64.
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// defaults to 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts; defaults to 5m.
+	MaxTimeout time.Duration
+	// SessionTTL expires idle sessions; defaults to 30m.
+	SessionTTL time.Duration
+	// PlanCacheSize bounds the prepared-plan LRU; defaults to 256 entries.
+	PlanCacheSize int
+	// Level is the optimization level for queries that don't specify one.
+	// The zero value means "use the Flock DB default" (per-request "level"
+	// can still force any level, including udf).
+	Level opt.Level
+	// Authenticate validates a (user, token) pair at session creation.
+	// nil allows any non-empty user (development mode).
+	Authenticate func(user, token string) error
+	// OnSession runs after successful authentication (e.g. to grant roles).
+	OnSession func(user string)
+}
+
+func (c Config) normalize() Config {
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+		if c.MaxWorkers < 4 {
+			c.MaxWorkers = 4
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 256
+	}
+	return c
+}
+
+// Server serves a Flock instance over HTTP.
+type Server struct {
+	flock *core.Flock
+	cfg   Config
+
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	lnMu    sync.Mutex
+	ln      net.Listener
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	sessions *sessionStore
+	adm      *admission
+	met      *metrics
+	plans    *planCache
+
+	monMu    sync.Mutex
+	monitors []*monitor.ScoreMonitor
+}
+
+// New assembles a server over flock. Call Serve/ListenAndServe to accept
+// connections, or mount Handler() yourself (tests use httptest).
+func New(flock *core.Flock, cfg Config) *Server {
+	cfg = cfg.normalize()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		flock:      flock,
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		baseCtx:    base,
+		cancelBase: cancel,
+		met:        newMetrics(),
+	}
+	s.sessions = newSessionStore(base, cfg.SessionTTL)
+	s.adm = newAdmission(cfg.MaxWorkers, cfg.MaxQueue, s.met)
+	s.plans = newPlanCache(cfg.PlanCacheSize, s.met)
+
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the HTTP handler (for mounting under a custom server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Flock returns the served instance.
+func (s *Server) Flock() *core.Flock { return s.flock }
+
+// AttachMonitor exports a score monitor's drift state on /metrics.
+func (s *Server) AttachMonitor(m *monitor.ScoreMonitor) {
+	s.monMu.Lock()
+	s.monitors = append(s.monitors, m)
+	s.monMu.Unlock()
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	err := s.httpSrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Addr reports the bound address ("" before Serve).
+func (s *Server) Addr() string {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server: stop accepting, wait for in-flight requests
+// up to ctx's deadline, then cancel the base context so any straggling
+// query aborts at its next batch boundary (engine-wide cancellation).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.sessions.stopSweeper()
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		// Drain window expired: cancel every session (and through them
+		// every running query), then force-close connections.
+		s.cancelBase()
+		_ = s.httpSrv.Close()
+	}
+	s.cancelBase()
+	s.sessions.closeAll()
+	return err
+}
+
+// ---- request/response shapes ----
+
+type sessionRequest struct {
+	User  string `json:"user"`
+	Token string `json:"token"`
+}
+
+type queryRequest struct {
+	Session   string `json:"session"`
+	SQL       string `json:"sql"`
+	TimeoutMS int64  `json:"timeout_ms"`
+	Level     string `json:"level"`
+	Stream    bool   `json:"stream"`
+}
+
+type prepareRequest struct {
+	Session string `json:"session"`
+	SQL     string `json:"sql"`
+	Level   string `json:"level"`
+}
+
+type execRequest struct {
+	Session   string `json:"session"`
+	Stmt      string `json:"stmt"`
+	TimeoutMS int64  `json:"timeout_ms"`
+	Stream    bool   `json:"stream"`
+}
+
+// queryResponse always carries columns and rows (as [] rather than null or
+// an absent key for empty results), so clients can index unconditionally.
+type queryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	Affected  int64    `json:"affected"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session request: %w", err))
+		return
+	}
+	if req.User == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user is required"))
+		return
+	}
+	if s.cfg.Authenticate != nil {
+		if err := s.cfg.Authenticate(req.User, req.Token); err != nil {
+			s.flock.Audit.Record(req.User, "login", "", "rejected", false)
+			writeError(w, http.StatusUnauthorized, errors.New("authentication failed"))
+			return
+		}
+	}
+	if s.cfg.OnSession != nil {
+		s.cfg.OnSession(req.User)
+	}
+	sess, err := s.sessions.create(req.User)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.flock.Audit.Record(req.User, "login", "", "session "+sess.id[:8], true)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": sess.id,
+		"user":    sess.user,
+		"ttl_s":   s.cfg.SessionTTL.Seconds(),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.close(id) {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	level, err := s.levelOf(req.Level)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.run(w, r, sess, req.TimeoutMS, kindOfSQL(req.SQL), req.Stream,
+		func(ctx context.Context) (*engine.Result, error) {
+			return s.flock.ExecLevelContext(ctx, sess.user, req.SQL, level)
+		})
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad prepare request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	level, err := s.levelOf(req.Level)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Planning is real work (optimizer passes, stats-driven model
+	// rewrites), so prepares go through the same admission gate as
+	// queries — prepare floods cannot starve query traffic. The deadline
+	// and disconnect handling bound the queue wait; planning itself is
+	// short (no table scans) and runs to completion once admitted.
+	pctx, cancel := context.WithTimeout(sess.ctx, s.cfg.DefaultTimeout)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel) // abandon the queue slot if the client goes away
+	defer stop()
+	sess.begin()
+	defer sess.end()
+	if err := s.adm.acquire(pctx); err != nil {
+		status, _ := classifyErr(err)
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	defer s.adm.release()
+
+	key := planKey(req.SQL, level)
+	p, handle, cached := s.plans.get(key)
+	if cached {
+		// Cache-shared plans still require this user to pass governance.
+		if err := s.flock.CheckPrepared(sess.user, p); err != nil {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
+	} else {
+		// Access is checked before planning: an unauthorized user gets a
+		// 403 and an audit record, not planner output.
+		p, err = s.flock.PrepareAs(sess.user, req.SQL, level)
+		if err != nil {
+			var perm *governance.PermissionError
+			if errors.As(err, &perm) {
+				writeError(w, http.StatusForbidden, err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		handle = s.plans.put(key, p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stmt": handle, "kind": p.Kind(), "cached": cached,
+	})
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad exec request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	p, ok := s.plans.getByHandle(req.Stmt)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown prepared statement (evicted or never prepared); re-prepare"))
+		return
+	}
+	kind := p.Kind()
+	if kind != "select" {
+		kind = "dml"
+	}
+	s.run(w, r, sess, req.TimeoutMS, kind, req.Stream,
+		func(ctx context.Context) (*engine.Result, error) {
+			return s.flock.ExecPrepared(ctx, sess.user, p)
+		})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gauges := map[string]float64{
+		"flock_admission_inflight":    float64(s.adm.inflight.Load()),
+		"flock_admission_queue_depth": float64(s.adm.queued.Load()),
+		"flock_sessions_active":       float64(s.sessions.count()),
+		"flock_plan_cache_entries":    float64(s.plans.len()),
+	}
+	s.monMu.Lock()
+	monitors := append([]*monitor.ScoreMonitor(nil), s.monitors...)
+	s.monMu.Unlock()
+	for _, m := range monitors {
+		label := fmt.Sprintf(`flock_monitor_window_size{model=%q}`, m.Model)
+		gauges[label] = float64(m.WindowSize())
+		gauges[fmt.Sprintf(`flock_monitor_alerts{model=%q}`, m.Model)] = float64(len(m.Alerts()))
+		if psi, err := m.PSI(); err == nil {
+			gauges[fmt.Sprintf(`flock_monitor_psi{model=%q}`, m.Model)] = psi
+			gauges[fmt.Sprintf(`flock_monitor_drift_status{model=%q}`, m.Model)] = float64(monitor.StatusOf(psi))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.writeProm(w, gauges)
+}
+
+// run pushes one query through admission control, deadline management, the
+// engine, and result encoding, recording metrics for every outcome.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, sess *session,
+	timeoutMS int64, kind string, stream bool,
+	do func(ctx context.Context) (*engine.Result, error)) {
+
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// The query context descends from the session (so session close and
+	// server shutdown cancel it) and additionally dies with the client
+	// connection and the deadline.
+	qctx, cancel := context.WithTimeout(sess.ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+	sess.begin()
+	defer sess.end()
+
+	start := time.Now()
+	if err := s.adm.acquire(qctx); err != nil {
+		status, label := classifyErr(err)
+		s.met.observeQuery(kind, label, time.Since(start))
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			s.adm.release()
+		}
+	}
+	defer release() // a panicking handler must not leak the worker slot
+
+	res, err := do(qctx)
+	// The result is fully materialized: release the worker slot BEFORE
+	// encoding, so a slow-reading client stalls only its own connection,
+	// never the worker pool.
+	release()
+	elapsed := time.Since(start)
+	if err != nil {
+		status, label := classifyErr(err)
+		s.met.observeQuery(kind, label, elapsed)
+		writeError(w, status, err)
+		return
+	}
+	if res == nil {
+		// Defense in depth: no execution path should hand back (nil, nil),
+		// but a nil here must not panic the handler.
+		res = &engine.Result{}
+	}
+	s.met.observeQuery(kind, "ok", elapsed)
+	if stream {
+		s.streamResult(w, res, elapsed)
+		return
+	}
+	cols, rows := res.Columns, res.Rows
+	if cols == nil {
+		cols = []string{}
+	}
+	if rows == nil {
+		rows = [][]any{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns: cols, Rows: rows, Affected: res.Affected,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+// streamResult encodes a result as NDJSON: a header object, one JSON array
+// per row (flushed in chunks so large results reach the client
+// incrementally), and a trailer object.
+func (s *Server) streamResult(w http.ResponseWriter, res *engine.Result, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cols := res.Columns
+	if cols == nil {
+		cols = []string{} // same always-arrays contract as the non-stream path
+	}
+	_ = enc.Encode(map[string]any{"columns": cols})
+	for i, row := range res.Rows {
+		_ = enc.Encode(row)
+		if flusher != nil && i%256 == 255 {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(map[string]any{
+		"rows": len(res.Rows), "affected": res.Affected,
+		"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// classifyErr maps an execution error to an HTTP status and a metrics
+// status label.
+func classifyErr(err error) (int, string) {
+	var perm *governance.PermissionError
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusServiceUnavailable, "rejected"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		// 499: client closed request (nginx convention) — the session was
+		// closed, the client disconnected, or the server is shutting down.
+		return 499, "canceled"
+	case errors.As(err, &perm):
+		return http.StatusForbidden, "denied"
+	case strings.HasPrefix(err.Error(), "onnx:"):
+		// A scoring-backend failure (e.g. the remote model service is
+		// down) is an upstream fault, not a bad request — 502 keeps 5xx
+		// alerting honest. The repo's error-prefix convention makes the
+		// origin identifiable without an error taxonomy.
+		return http.StatusBadGateway, "backend"
+	default:
+		return http.StatusBadRequest, "error"
+	}
+}
+
+// levelOf parses a request optimization level; "" uses the configured
+// default (or the Flock DB default when the config is zero).
+func (s *Server) levelOf(name string) (opt.Level, error) {
+	switch strings.ToLower(name) {
+	case "":
+		if s.cfg.Level != 0 {
+			return s.cfg.Level, nil
+		}
+		return s.flock.DB.DefaultLevel, nil
+	case "udf":
+		return opt.LevelUDF, nil
+	case "vectorized":
+		return opt.LevelVectorized, nil
+	case "parallel":
+		return opt.LevelParallel, nil
+	case "full":
+		return opt.LevelFull, nil
+	}
+	return 0, fmt.Errorf("unknown optimization level %q", name)
+}
+
+// kindOfSQL classifies a statement string for the latency histogram.
+func kindOfSQL(sql string) string {
+	f := strings.ToLower(firstWord(sql))
+	switch f {
+	case "select":
+		return "select"
+	case "insert", "update", "delete", "create":
+		return "dml"
+	}
+	return "other"
+}
+
+func firstWord(s string) string {
+	s = strings.TrimSpace(s)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// StaticTokenAuth builds an Authenticate func over a fixed user->token
+// map. Both sides are hashed before a constant-time compare, so neither
+// token length nor user existence leaks through comparison timing
+// (ConstantTimeCompare alone short-circuits on length mismatch).
+func StaticTokenAuth(tokens map[string]string) func(user, token string) error {
+	return func(user, token string) error {
+		want, ok := tokens[user]
+		wantSum := sha256.Sum256([]byte(want))
+		gotSum := sha256.Sum256([]byte(token))
+		match := subtle.ConstantTimeCompare(wantSum[:], gotSum[:]) == 1
+		if !ok || !match {
+			return errors.New("server: bad credentials")
+		}
+		return nil
+	}
+}

@@ -1,0 +1,638 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/onnx"
+	"repro/internal/workload"
+)
+
+// newTestFlock builds a Flock with the scoring table and a deployed churn
+// model: PREDICT(churn, age, income, tenure, region).
+func newTestFlock(t testing.TB, rows int) *core.Flock {
+	t.Helper()
+	f, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access.AssignRole("root", "admin")
+	if err := workload.LoadScoringTable(f.DB, workload.ScoringConfig{
+		Rows: rows, Seed: 7, Regions: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := workload.TrainScoringPipeline(500, 42, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DeployPipeline("root", "churn", pipe, core.TrainingInfo{
+		Script: "server_test", Tables: []string{"customers"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func newTestServer(t testing.TB, rows int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.OnSession == nil {
+		flock := newTestFlock(t, rows)
+		cfg.OnSession = func(user string) { flock.Access.AssignRole(user, "admin") }
+		s := New(flock, cfg)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		})
+		return s, ts
+	}
+	panic("unused")
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if len(raw) > 0 && json.Valid(raw) {
+		_ = json.Unmarshal(raw, &out)
+	} else if len(raw) > 0 {
+		out = map[string]any{"_raw": string(raw)}
+	}
+	return resp, out
+}
+
+func openSession(t testing.TB, baseURL, user string) string {
+	t.Helper()
+	resp, body := postJSON(t, baseURL+"/v1/sessions", map[string]string{"user": user})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create: %d %v", resp.StatusCode, body)
+	}
+	return body["session"].(string)
+}
+
+func TestSessionLifecycleAndAuth(t *testing.T) {
+	flock := newTestFlock(t, 100)
+	s := New(flock, Config{
+		Authenticate: StaticTokenAuth(map[string]string{"alice": "s3cret"}),
+		OnSession:    func(user string) { flock.Access.AssignRole(user, "admin") },
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	// Bad token rejected.
+	resp, _ := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"user": "alice", "token": "wrong"})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token: want 401, got %d", resp.StatusCode)
+	}
+	// Good token admitted.
+	resp, body := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"user": "alice", "token": "s3cret"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good token: want 200, got %d", resp.StatusCode)
+	}
+	sid := body["session"].(string)
+
+	// Session works...
+	resp, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: want 200, got %d %v", resp.StatusCode, body)
+	}
+	// ...until deleted.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+sid, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: want 204, got %d", dresp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("closed session: want 401, got %d", resp.StatusCode)
+	}
+	// The login attempts are on the audit trail.
+	denied, granted := false, false
+	for _, e := range flock.Audit.Entries() {
+		if e.Action == "login" {
+			if e.Allowed {
+				granted = true
+			} else {
+				denied = true
+			}
+		}
+	}
+	if !denied || !granted {
+		t.Fatalf("audit trail missing login records (denied=%t granted=%t)", denied, granted)
+	}
+}
+
+func TestQueryGovernanceDenied(t *testing.T) {
+	flock := newTestFlock(t, 100)
+	// No OnSession role grant: the user has no permissions at all.
+	s := New(flock, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	sid := openSession(t, ts.URL, "mallory")
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("want 403 for ungranted user, got %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestDegenerateSQLReturns400(t *testing.T) {
+	_, ts := newTestServer(t, 50, Config{})
+	sid := openSession(t, ts.URL, "alice")
+	for _, sql := range []string{";", "", "   "} {
+		resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{"session": sid, "sql": sql})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("sql %q: want 400, got %d %v", sql, resp.StatusCode, body)
+		}
+	}
+	// Streaming a DML result still yields a columns array, not null.
+	buf, _ := json.Marshal(map[string]any{
+		"session": sid, "sql": "INSERT INTO customers VALUES (7777, 30.0, 50000.0, 2.0, 'us-east')", "stream": true})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	first := strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)[0]
+	if !strings.Contains(first, `"columns":[]`) {
+		t.Fatalf("stream header for DML must carry an empty columns array, got %q", first)
+	}
+}
+
+func TestPrepareGovernanceDenied(t *testing.T) {
+	flock := newTestFlock(t, 100)
+	s := New(flock, Config{}) // no role grant: user has no permissions
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	sid := openSession(t, ts.URL, "mallory")
+	resp, body := postJSON(t, ts.URL+"/v1/prepare", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("want 403 preparing without grants, got %d %v", resp.StatusCode, body)
+	}
+	denied := false
+	for _, e := range flock.Audit.Entries() {
+		if e.User == "mallory" && e.Action == "denied" {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Fatal("denied prepare missing from audit log")
+	}
+	// The same cached entry must also be refused when another user without
+	// grants hits it after an authorized user planned it.
+	flock.Access.AssignRole("alice", "admin")
+	aid := openSession(t, ts.URL, "alice")
+	if resp, body := postJSON(t, ts.URL+"/v1/prepare", map[string]any{
+		"session": aid, "sql": "SELECT count(*) FROM customers"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized prepare failed: %d %v", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/prepare", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"}); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cache hit bypassed governance: got %d", resp.StatusCode)
+	}
+}
+
+func TestQueryStreamNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, 300, Config{})
+	sid := openSession(t, ts.URL, "alice")
+	buf, _ := json.Marshal(map[string]any{
+		"session": sid, "sql": "SELECT id, region FROM customers ORDER BY id LIMIT 5", "stream": true})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("want ndjson content type, got %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	// header + 5 rows + trailer
+	if len(lines) != 7 {
+		t.Fatalf("want 7 NDJSON lines, got %d: %q", len(lines), lines)
+	}
+	var header struct {
+		Columns []string `json:"columns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil || len(header.Columns) != 2 {
+		t.Fatalf("bad stream header %q: %v", lines[0], err)
+	}
+	var trailer struct {
+		Rows int `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(lines[6]), &trailer); err != nil || trailer.Rows != 5 {
+		t.Fatalf("bad stream trailer %q: %v", lines[6], err)
+	}
+}
+
+// TestConcurrentSessions is the headline integration test: N parallel
+// sessions issuing mixed SELECT / PREDICT / DML traffic, with the race
+// detector watching the whole serving + engine + governance stack.
+func TestConcurrentSessions(t *testing.T) {
+	s, ts := newTestServer(t, 2000, Config{MaxWorkers: 8, MaxQueue: 256})
+	const workers = 16
+	const iters = 10
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sid := openSession(t, ts.URL, fmt.Sprintf("user%d", w))
+			for i := 0; i < iters; i++ {
+				var sql string
+				switch i % 4 {
+				case 0:
+					sql = "SELECT count(*), avg(age) FROM customers"
+				case 1:
+					sql = "SELECT id, PREDICT(churn, age, income, tenure, region) AS s FROM customers WHERE id < 50"
+				case 2:
+					sql = fmt.Sprintf("INSERT INTO customers VALUES (%d, 30.0, 50000.0, 2.0, 'us-east')", 100000+w*1000+i)
+				case 3:
+					sql = "SELECT region, count(*) FROM customers GROUP BY region ORDER BY region"
+				}
+				resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{"session": sid, "sql": sql})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("worker %d iter %d: %d %v", w, i, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if idx := s.Flock().Audit.Verify(); idx != -1 {
+		t.Fatalf("audit chain corrupted at %d", idx)
+	}
+}
+
+// gatedScorer blocks scoring until released (or the query is canceled),
+// simulating a slow/hung model service behind UDF-mode PREDICT.
+type gatedScorer struct {
+	started chan struct{} // buffered; one token per scoring call
+	release chan struct{}
+}
+
+func (g *gatedScorer) Score(b *onnx.Batch) ([]float64, error) {
+	return g.ScoreContext(context.Background(), b)
+}
+
+func (g *gatedScorer) ScoreContext(ctx context.Context, b *onnx.Batch) ([]float64, error) {
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.release:
+		return make([]float64, b.N), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+const predictUDFSQL = "SELECT PREDICT(churn, age, income, tenure, region) FROM customers"
+
+// TestCancellationOnSessionClose proves a canceled query's handler returns
+// promptly: a query wedged on a hung scorer unwinds as soon as its session
+// is closed.
+func TestCancellationOnSessionClose(t *testing.T) {
+	s, ts := newTestServer(t, 200, Config{})
+	gate := &gatedScorer{started: make(chan struct{}, 1), release: make(chan struct{})}
+	defer close(gate.release)
+	s.Flock().DB.SetUDFScorerFactory(func(g *onnx.Graph) (onnx.Scorer, error) { return gate, nil })
+
+	sid := openSession(t, ts.URL, "alice")
+	type result struct {
+		code    int
+		elapsed time.Duration
+	}
+	done := make(chan result, 1)
+	go func() {
+		start := time.Now()
+		resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"session": sid, "sql": predictUDFSQL, "level": "udf"})
+		done <- result{resp.StatusCode, time.Since(start)}
+	}()
+
+	select {
+	case <-gate.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query never reached the scorer")
+	}
+	cancelAt := time.Now()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+sid, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	select {
+	case r := <-done:
+		if r.code != 499 {
+			t.Fatalf("want 499 for canceled query, got %d", r.code)
+		}
+		if since := time.Since(cancelAt); since > 3*time.Second {
+			t.Fatalf("handler took %v to unwind after cancel", since)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled query's handler never returned")
+	}
+}
+
+func TestQueryDeadline(t *testing.T) {
+	s, ts := newTestServer(t, 200, Config{})
+	gate := &gatedScorer{started: make(chan struct{}, 1), release: make(chan struct{})}
+	defer close(gate.release)
+	s.Flock().DB.SetUDFScorerFactory(func(g *onnx.Graph) (onnx.Scorer, error) { return gate, nil })
+
+	sid := openSession(t, ts.URL, "alice")
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"session": sid, "sql": predictUDFSQL, "level": "udf", "timeout_ms": 100})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("want 504 on deadline, got %d %v", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+}
+
+func TestAdmissionControlRejectsOverload(t *testing.T) {
+	s, ts := newTestServer(t, 200, Config{MaxWorkers: 1, MaxQueue: 1})
+	gate := &gatedScorer{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s.Flock().DB.SetUDFScorerFactory(func(g *onnx.Graph) (onnx.Scorer, error) { return gate, nil })
+	sid := openSession(t, ts.URL, "alice")
+
+	codes := make(chan int, 3)
+	var wg sync.WaitGroup
+	// First query occupies the worker slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"session": sid, "sql": predictUDFSQL, "level": "udf"})
+		codes <- resp.StatusCode
+	}()
+	<-gate.started
+
+	// Second and third: one queues, one must be rejected with 503.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]any{
+				"session": sid, "sql": predictUDFSQL, "level": "udf"})
+			codes <- resp.StatusCode
+		}()
+	}
+	// Give both stragglers time to hit admission before releasing.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.queued.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate.release)
+	wg.Wait()
+	close(codes)
+
+	var ok, rejected int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if rejected != 1 || ok != 2 {
+		t.Fatalf("want 2 ok + 1 rejected, got %d ok + %d rejected", ok, rejected)
+	}
+	// The rejection is visible on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "flock_admission_rejected_total 1") {
+		t.Fatal("admission rejection not exported on /metrics")
+	}
+}
+
+func TestPreparedExecReflectsWrites(t *testing.T) {
+	s, ts := newTestServer(t, 100, Config{})
+	sid := openSession(t, ts.URL, "alice")
+
+	resp, body := postJSON(t, ts.URL+"/v1/prepare", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare: %d %v", resp.StatusCode, body)
+	}
+	stmt := body["stmt"].(string)
+	if body["cached"].(bool) {
+		t.Fatal("first prepare cannot be a cache hit")
+	}
+
+	count := func() float64 {
+		resp, body := postJSON(t, ts.URL+"/v1/exec", map[string]any{"session": sid, "stmt": stmt})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exec: %d %v", resp.StatusCode, body)
+		}
+		return body["rows"].([]any)[0].([]any)[0].(float64)
+	}
+	before := count()
+	resp, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"session": sid, "sql": "INSERT INTO customers VALUES (99999, 30.0, 50000.0, 2.0, 'us-east')"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d %v", resp.StatusCode, body)
+	}
+	if after := count(); after != before+1 {
+		t.Fatalf("prepared plan served stale data: before=%v after=%v", before, after)
+	}
+
+	// Re-preparing the same SQL hits the plan cache.
+	resp, body = postJSON(t, ts.URL+"/v1/prepare", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusOK || !body["cached"].(bool) {
+		t.Fatalf("second prepare should be a cache hit: %d %v", resp.StatusCode, body)
+	}
+	_ = s
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, 100, Config{})
+	sid := openSession(t, ts.URL, "alice")
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"session": sid, "sql": "SELECT count(*) FROM customers"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d failed", i)
+		}
+	}
+	// Attach a monitor with enough window to compute PSI.
+	base := make([]float64, 100)
+	window := make([]float64, 60)
+	for i := range base {
+		base[i] = float64(i) / 100
+	}
+	for i := range window {
+		window[i] = float64(i) / 60
+	}
+	for _, model := range []string{"churn", "fraud"} {
+		mon, err := monitor.NewScoreMonitor(model, base, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon.Observe(window...)
+		s.AttachMonitor(mon)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`flock_query_seconds_count{kind="select"} 3`,
+		`flock_query_seconds_bucket{kind="select",le="+Inf"} 3`,
+		`flock_queries_total{status="ok"} 3`,
+		"flock_admission_wait_seconds_count",
+		"flock_sessions_active 1",
+		`flock_monitor_psi{model="churn"}`,
+		`flock_monitor_psi{model="fraud"}`,
+		`flock_monitor_drift_status{model="churn"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Prometheus exposition requires exactly one TYPE line per family even
+	// with several labeled series.
+	if n := strings.Count(text, "# TYPE flock_monitor_psi gauge"); n != 1 {
+		t.Errorf("want exactly 1 TYPE line for flock_monitor_psi, got %d", n)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	flock := newTestFlock(t, 100)
+	s := New(flock, Config{OnSession: func(user string) { flock.Access.AssignRole(user, "admin") }})
+	go func() {
+		if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+			t.Error(err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + s.Addr()
+	sid := openSession(t, base, "alice")
+	resp, body := postJSON(t, base+"/v1/query", map[string]any{
+		"session": sid, "sql": "SELECT count(*) FROM customers"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query before shutdown: %d %v", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown not clean: %v", err)
+	}
+	if _, err := http.Post(base+"/v1/query", "application/json", strings.NewReader("{}")); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+func BenchmarkServerConcurrent(b *testing.B) {
+	for _, clients := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, ts := newTestServer(b, 10000, Config{MaxWorkers: 16, MaxQueue: 1024})
+			sids := make([]string, clients)
+			for i := range sids {
+				sids[i] = openSession(b, ts.URL, fmt.Sprintf("bench%d", i))
+			}
+			payloads := make([][]byte, clients)
+			for i := range payloads {
+				payloads[i], _ = json.Marshal(map[string]any{
+					"session": sids[i],
+					"sql":     "SELECT count(*) FROM customers WHERE age > 40 AND income > 60000",
+				})
+			}
+			var wg sync.WaitGroup
+			per := (b.N + clients - 1) / clients
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					client := &http.Client{}
+					for i := 0; i < per; i++ {
+						resp, err := client.Post(ts.URL+"/v1/query", "application/json",
+							bytes.NewReader(payloads[c]))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							b.Errorf("status %d", resp.StatusCode)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			total := float64(per * clients)
+			b.ReportMetric(total/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
