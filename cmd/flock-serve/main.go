@@ -12,9 +12,17 @@
 // user is granted the admin role so the demo works out of the box; in a
 // real deployment wire your own role assignment before starting the server.
 //
+// With -data-dir the instance is crash-safe: committed DML is write-ahead
+// logged (fsync per commit under -wal-sync always), a background
+// checkpointer folds the log into an atomic snapshot every
+// -checkpoint-interval, and a restart recovers tables, time-travel
+// history, deployed models, the query log and the audit chain — the demo
+// workload is seeded only on first boot. See docs/durability.md.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
-// in-flight queries get a drain window, and whatever remains is canceled
-// engine-wide at the next batch boundary.
+// in-flight queries get a drain window, whatever remains is canceled
+// engine-wide at the next batch boundary, and a final checkpoint folds the
+// WAL before exit.
 package main
 
 import (
@@ -45,28 +53,63 @@ func main() {
 	planCache := flag.Int("plan-cache", 256, "prepared-plan LRU capacity")
 	tokens := flag.String("tokens", "", "comma-separated user:token credentials (empty = allow any user)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight queries")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory only; data does not survive restarts)")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often the background checkpointer folds the WAL into a snapshot")
+	walSync := flag.String("wal-sync", "always", "WAL durability: 'always' fsyncs each committed DML statement, 'off' leaves flushing to the OS")
 	flag.Parse()
 
-	flock, err := core.New()
-	if err != nil {
-		log.Fatal(err)
+	var syncWAL bool
+	switch *walSync {
+	case "always":
+		syncWAL = true
+	case "off":
+		syncWAL = false
+	default:
+		log.Fatalf("flock-serve: bad -wal-sync %q (want always|off)", *walSync)
 	}
 
-	// Demo workload: the Figure-4 scoring table plus a deployed churn model.
-	if err := workload.LoadScoringTable(flock.DB, workload.ScoringConfig{
-		Rows: *rows, Seed: 7, Regions: 6, WithText: true,
-	}); err != nil {
-		log.Fatal(err)
+	var flock *core.Flock
+	var dur *core.Durability
+	var err error
+	if *dataDir != "" {
+		flock, dur, err = core.OpenDir(*dataDir, core.DurabilityOptions{WALSync: syncWAL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := dur.Recovery()
+		if rec.SnapshotLoaded || rec.Records > 0 {
+			fmt.Printf("flock-serve: recovered %s (snapshot=%t, %d WAL records replayed, torn tail=%t) in %s\n",
+				*dataDir, rec.SnapshotLoaded, rec.Records, rec.TornTail, rec.Duration.Round(time.Millisecond))
+		}
+	} else {
+		flock, err = core.New()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	pipe, err := workload.TrainScoringPipeline(4000, 42, 50, true)
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	flock.Access.AssignRole("flock-serve", "admin")
-	if _, err := flock.DeployPipeline("flock-serve", "churn", pipe, core.TrainingInfo{
-		Script: "flock-serve bootstrap", Tables: []string{"customers"},
-	}); err != nil {
-		log.Fatal(err)
+
+	// Demo workload: the Figure-4 scoring table plus a deployed churn model.
+	// A recovered data directory already holds both, so seed only what is
+	// missing (first boot, or an in-memory instance).
+	if _, terr := flock.DB.Table("customers"); terr != nil {
+		if err := workload.LoadScoringTable(flock.DB, workload.ScoringConfig{
+			Rows: *rows, Seed: 7, Regions: 6, WithText: true,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, gerr := flock.Models.GraphFor("churn"); gerr != nil {
+		pipe, err := workload.TrainScoringPipeline(4000, 42, 50, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := flock.DeployPipeline("flock-serve", "churn", pipe, core.TrainingInfo{
+			Script: "flock-serve bootstrap", Tables: []string{"customers"},
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	cfg := server.Config{
@@ -99,6 +142,12 @@ func main() {
 		srv.AttachMonitor(mon)
 	}
 
+	if dur != nil {
+		// Background checkpointer + durability gauges on /metrics.
+		dur.Run(*ckptEvery, func(err error) { log.Printf("flock-serve: checkpoint failed: %v", err) })
+		srv.AttachGauges(dur.Gauges)
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
 	// Give the listener a beat to bind so the banner prints the truth.
@@ -116,7 +165,16 @@ func main() {
 		fmt.Println("flock-serve: shutting down...")
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		err := srv.Shutdown(ctx)
+		// The drain finished (or was forced): every statement that will
+		// commit has committed, so fold the WAL one last time — a clean
+		// restart recovers from the snapshot alone.
+		if dur != nil {
+			if cerr := dur.Close(); cerr != nil {
+				log.Printf("flock-serve: final checkpoint failed: %v", cerr)
+			}
+		}
+		if err != nil {
 			log.Printf("flock-serve: forced shutdown after drain window: %v", err)
 			os.Exit(1)
 		}

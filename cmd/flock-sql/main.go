@@ -81,18 +81,15 @@ func main() {
 			n, e := flock.Catalog.Size()
 			fmt.Printf("  catalog: %d nodes, %d edges\n", n, e)
 		case strings.HasPrefix(line, `\save `):
+			// Crash-safe save: temp file + fsync + atomic rename (a crash
+			// mid-\save can no longer corrupt an existing snapshot in place,
+			// and write/close errors surface instead of being discarded).
 			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
-			fh, err := os.Create(path)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			if err := flock.DB.SaveSnapshot(fh); err != nil {
+			if err := flock.DB.SaveSnapshotFile(path); err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Println("snapshot written to", path)
 			}
-			fh.Close()
 		case strings.HasPrefix(line, `\explain `):
 			explain(flock, strings.TrimPrefix(line, `\explain `))
 		default:

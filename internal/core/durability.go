@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/governance"
+)
+
+// Crash-safe durability for a served Flock instance: engine.OpenDirDB
+// recovers tables, time-travel history, the query log and (through the
+// system table) every deployed model; this file adds the audit chain —
+// persisted as its own append-only frame stream, since tamper evidence
+// wants an independent medium — and the background checkpointer that folds
+// the WAL into snapshots while the server runs.
+
+// auditFile holds the persisted audit chain inside the data directory.
+const auditFile = "audit.log"
+
+// DurabilityOptions tunes OpenDir.
+type DurabilityOptions struct {
+	// WALSync fsyncs every committed DML record before it is acknowledged
+	// (the default in flock-serve); disabled, durability degrades to
+	// OS-buffered writes in exchange for write latency.
+	WALSync bool
+}
+
+// Durability owns a Flock's data directory: the recovery report, the audit
+// persistence hook, and the checkpoint lifecycle (manual, periodic, and
+// final-on-shutdown).
+type Durability struct {
+	db  *engine.DB
+	dir string
+
+	auditMu  sync.Mutex
+	auditF   *os.File
+	auditErr error // first audit-persistence failure (surfaced on Close)
+
+	mu             sync.Mutex
+	recovery       engine.RecoveryInfo
+	lastCheckpoint time.Time
+	checkpoints    int64
+
+	stopOnce  sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+	closeErr  error
+}
+
+// OpenDir opens (or initializes) a durable Flock in dir: it recovers the
+// engine state (snapshot + WAL replay), rebuilds the model registry from
+// the recovered system table, restores the audit chain, and wires every
+// subsequent commit and audit record back into the directory. The caller
+// runs the returned Durability's checkpointer (Run) and must Close it on
+// shutdown for a final checkpoint.
+func OpenDir(dir string, opts DurabilityOptions) (*Flock, *Durability, error) {
+	db, info, err := engine.OpenDirDB(dir, opts.WALSync)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := newFromDB(db)
+	if err != nil {
+		db.CloseDurability()
+		return nil, nil, err
+	}
+
+	d := &Durability{
+		db:             db,
+		dir:            dir,
+		recovery:       info,
+		lastCheckpoint: time.Now(), // recovery consolidates into a fresh snapshot
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	close(d.done) // Run replaces it; Close must not block when Run never ran
+
+	auditPath := filepath.Join(dir, auditFile)
+	entries, err := readAuditEntries(auditPath)
+	if err != nil {
+		db.CloseDurability()
+		return nil, nil, fmt.Errorf("core: recovering audit log: %w", err)
+	}
+	if err := f.Audit.Restore(entries); err != nil {
+		db.CloseDurability()
+		return nil, nil, err
+	}
+	af, err := os.OpenFile(auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		db.CloseDurability()
+		return nil, nil, fmt.Errorf("core: opening audit log: %w", err)
+	}
+	d.auditF = af
+	f.Audit.SetSink(d.appendAudit)
+	return f, d, nil
+}
+
+// appendAudit persists one audit entry (called under the audit log's lock,
+// in chain order). Failures are remembered rather than propagated — the
+// audit API has no error channel — and surfaced by Close.
+func (d *Durability) appendAudit(e governance.AuditEntry) {
+	d.auditMu.Lock()
+	defer d.auditMu.Unlock()
+	if d.auditF == nil || d.auditErr != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		d.auditErr = err
+		return
+	}
+	if err := engine.AppendFrame(d.auditF, buf.Bytes()); err != nil {
+		d.auditErr = err
+	}
+}
+
+// readAuditEntries loads the persisted audit chain; a missing file is an
+// empty chain, and a torn final frame (crash mid-append) is dropped — the
+// entry it held was never fully recorded.
+func readAuditEntries(path string) ([]governance.AuditEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []governance.AuditEntry
+	_, err = engine.ReadFrames(f, func(payload []byte) error {
+		var e governance.AuditEntry
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+			return err
+		}
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// Checkpoint folds the WAL into a fresh snapshot now.
+func (d *Durability) Checkpoint() error {
+	if err := d.db.Checkpoint(); err != nil {
+		return err
+	}
+	d.auditMu.Lock()
+	if d.auditF != nil {
+		_ = d.auditF.Sync() // ride the checkpoint: audit tail becomes durable too
+	}
+	d.auditMu.Unlock()
+	d.mu.Lock()
+	d.lastCheckpoint = time.Now()
+	d.checkpoints++
+	d.mu.Unlock()
+	return nil
+}
+
+// Run starts the background checkpointer: every interval the WAL is folded
+// into a snapshot, keeping both replay time and log size bounded. The loop
+// stops at Close (which takes a final checkpoint itself).
+func (d *Durability) Run(interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		return
+	}
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := d.Checkpoint(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the checkpointer, takes a final checkpoint (the drain-time
+// fold: a clean shutdown restarts from the snapshot alone), and closes the
+// log files. Safe to call once; returns the first error encountered,
+// including any deferred audit-persistence failure.
+func (d *Durability) Close() error {
+	d.closeOnce.Do(func() {
+		d.stopOnce.Do(func() { close(d.stop) })
+		<-d.done
+		err := d.Checkpoint()
+		if werr := d.db.CloseDurability(); err == nil {
+			err = werr
+		}
+		d.auditMu.Lock()
+		if d.auditF != nil {
+			if serr := d.auditF.Sync(); err == nil {
+				err = serr
+			}
+			if cerr := d.auditF.Close(); err == nil {
+				err = cerr
+			}
+			d.auditF = nil
+		}
+		if err == nil {
+			err = d.auditErr
+		}
+		d.auditMu.Unlock()
+		d.closeErr = err
+	})
+	return d.closeErr
+}
+
+// Recovery reports what boot-time recovery found.
+func (d *Durability) Recovery() engine.RecoveryInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovery
+}
+
+// Dir returns the data directory.
+func (d *Durability) Dir() string { return d.dir }
+
+// Gauges exports the durability state for /metrics: live WAL size, age of
+// the last checkpoint, total checkpoints taken, and how long boot-time
+// recovery took (plus how many WAL records it replayed).
+func (d *Durability) Gauges() map[string]float64 {
+	d.mu.Lock()
+	age := time.Since(d.lastCheckpoint).Seconds()
+	ckpts := float64(d.checkpoints)
+	rec := d.recovery
+	d.mu.Unlock()
+	return map[string]float64{
+		"flock_wal_bytes":               float64(d.db.WALSizeBytes()),
+		"flock_checkpoint_age_seconds":  age,
+		"flock_checkpoints_total":       ckpts,
+		"flock_recovery_seconds":        rec.Duration.Seconds(),
+		"flock_recovery_replay_records": float64(rec.Records),
+	}
+}
+
+// SaveSnapshotTo writes a point-in-time snapshot to an arbitrary writer
+// (export path; the data directory's own snapshot is managed by
+// Checkpoint).
+func (d *Durability) SaveSnapshotTo(w io.Writer) error {
+	return d.db.SaveSnapshot(w)
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/governance"
+)
+
+// openDurable opens a durable Flock in dir with per-commit fsync disabled
+// (tests exercise ordering and recovery, not disk latency).
+func openDurable(t *testing.T, dir string) (*Flock, *Durability) {
+	t.Helper()
+	f, d, err := OpenDir(dir, DurabilityOptions{WALSync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access.AssignRole("root", "admin")
+	return f, d
+}
+
+// TestOpenDirFullLifecycle drives the whole durability loop: data + model
+// + audit accumulate, a clean Close folds the WAL, and a reopen recovers
+// tables, time-travel history, the model registry, the query log and the
+// audit chain.
+func TestOpenDirFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	f1, d1 := openDurable(t, dir)
+	if _, err := f1.Exec("root", "CREATE TABLE customers (id int, age float, region text)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Exec("root", "INSERT INTO customers VALUES (1, 50.0, 'us'), (2, 30.0, 'eu')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.DeployPipeline("root", "churn", trainPipe(t), TrainingInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Exec("root", "UPDATE customers SET age = age + 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := f1.Exec("root", "SELECT id, PREDICT(churn, age, region) AS s FROM customers ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := f1.DB.Table("customers")
+	wantVersion := tab.Version()
+	wantAudit := f1.Audit.Len()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean shutdown checkpoints: recovery should come from the snapshot.
+	f2, d2, err := OpenDir(dir, DurabilityOptions{WALSync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if !rec.SnapshotLoaded {
+		t.Errorf("recovery after clean shutdown did not load a snapshot: %+v", rec)
+	}
+	f2.Access.AssignRole("root", "admin")
+
+	// Model registry recovered from the system table, still in production.
+	meta, err := f2.Models.Meta("churn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Stage != StageProduction {
+		t.Errorf("recovered stage = %s", meta.Stage)
+	}
+	got, err := f2.Exec("root", "SELECT id, PREDICT(churn, age, region) AS s FROM customers ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Rows {
+		if got.Rows[i][1] != want.Rows[i][1] {
+			t.Fatalf("restored score differs at row %d: %v vs %v", i, got.Rows[i][1], want.Rows[i][1])
+		}
+	}
+
+	// Version counter and time travel survive the restart (format v2).
+	tab2, err := f2.DB.Table("customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Version() != wantVersion {
+		t.Errorf("version = %d, want %d", tab2.Version(), wantVersion)
+	}
+	res, err := f2.Exec("root", fmt.Sprintf("SELECT age FROM customers VERSION %d WHERE id = 1", wantVersion-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 50.0 {
+		t.Errorf("pre-update age via time travel = %v, want 50", res.Rows[0][0])
+	}
+
+	// Audit chain restored intact and still appending.
+	if f2.Audit.Len() < wantAudit {
+		t.Errorf("audit entries = %d, want >= %d", f2.Audit.Len(), wantAudit)
+	}
+	if idx := f2.Audit.Verify(); idx != -1 {
+		t.Errorf("restored audit chain broken at %d", idx)
+	}
+
+	// Gauges export the durability state.
+	g := d2.Gauges()
+	for _, k := range []string{"flock_wal_bytes", "flock_checkpoint_age_seconds", "flock_recovery_seconds"} {
+		if _, ok := g[k]; !ok {
+			t.Errorf("gauge %s missing", k)
+		}
+	}
+}
+
+// TestOpenDirCrashRecovery simulates a crash: no Close, no checkpoint —
+// the reopened instance must still hold every acknowledged write and the
+// audit/log state, replayed from the WAL.
+func TestOpenDirCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	f1, _ := openDurable(t, dir)
+	if _, err := f1.Exec("root", "CREATE TABLE kv (id int, v int)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f1.Exec("root", fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f1.Exec("root", "DELETE FROM kv WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon f1 without Close. (The OS file writes are complete;
+	// only the process state is lost.)
+
+	f2, d2, err := OpenDir(dir, DurabilityOptions{WALSync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.Records == 0 {
+		t.Fatalf("crash recovery replayed nothing: %+v", rec)
+	}
+	f2.Access.AssignRole("root", "admin")
+	res, err := f2.Exec("root", "SELECT count(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 4 {
+		t.Fatalf("rows = %v, want 4", res.Rows[0][0])
+	}
+	// Reopening again (after the consolidating recovery checkpoint) is
+	// idempotent: same state, this time from the snapshot.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f3, d3, err := OpenDir(dir, DurabilityOptions{WALSync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	f3.Access.AssignRole("root", "admin")
+	res, err = f3.Exec("root", "SELECT count(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 4 {
+		t.Fatalf("rows after second recovery = %v, want 4", res.Rows[0][0])
+	}
+}
+
+// TestOpenDirRejectsTamperedAudit: recovery must refuse an audit file whose
+// chain does not verify — restoring a tampered log would defeat the
+// tamper-evidence the hash chain exists for.
+func TestOpenDirRejectsTamperedAudit(t *testing.T) {
+	dir := t.TempDir()
+	f1, d1 := openDurable(t, dir)
+	f1.Audit.Record("root", "login", "", "ok", true)
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the audit file with a forged entry: valid frame, broken chain.
+	forged := governance.AuditEntry{Seq: 99, User: "mallory", Action: "deploy", Hash: "bogus"}
+	var frame bytes.Buffer
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.AppendFrame(&frame, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	af, err := os.OpenFile(filepath.Join(dir, auditFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write(frame.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+
+	if _, _, err := OpenDir(dir, DurabilityOptions{}); err == nil {
+		t.Fatal("OpenDir accepted a tampered audit chain")
+	}
+}
+
+// TestDurabilityCheckpointUnderLoad folds the WAL while writes are in
+// flight (run with -race): every acknowledged statement must land in
+// either the snapshot or the post-rotation log, so the final recovered
+// count matches what was committed.
+func TestDurabilityCheckpointUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	f1, d1 := openDurable(t, dir)
+	if _, err := f1.Exec("root", "CREATE TABLE kv (id int)"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if _, err := f1.Exec("root", fmt.Sprintf("INSERT INTO kv VALUES (%d)", i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 10; i++ {
+		if err := d1.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Crash-reopen (no Close): all 200 acknowledged inserts, exactly once.
+	f2, d2, err := OpenDir(dir, DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	f2.Access.AssignRole("root", "admin")
+	res, err := f2.Exec("root", "SELECT count(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 200 {
+		t.Fatalf("rows = %v, want 200 (lost or duplicated commits across checkpoints)", res.Rows[0][0])
+	}
+	res, err = f2.Exec("root", "SELECT DISTINCT id FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("distinct ids = %d, want 200 (WAL replay duplicated rows)", len(res.Rows))
+	}
+}

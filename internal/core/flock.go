@@ -37,11 +37,12 @@ func New() (*Flock, error) {
 }
 
 // Open restores a Flock from a durable engine snapshot (see
-// engine.DB.SaveSnapshot): tables, query log and every deployed model
-// version come back; governance and provenance state start fresh (the
-// audit log is tamper-evident precisely because it is append-only per
-// process, and the provenance catalog can be rebuilt lazily from the
-// restored query log via SQLTracker.CaptureLog).
+// engine.DB.SaveSnapshot): tables, time-travel history, query log and
+// every deployed model version come back; governance and provenance state
+// start fresh (the provenance catalog can be rebuilt lazily from the
+// restored query log via SQLTracker.CaptureLog). For crash-safe operation
+// with a write-ahead log, checkpoints and audit-chain recovery, use
+// OpenDir instead.
 func Open(r io.Reader) (*Flock, error) {
 	db := engine.NewDB()
 	if err := db.LoadSnapshot(r); err != nil {

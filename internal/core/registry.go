@@ -121,12 +121,10 @@ func (r *ModelRegistry) Create(name, creator string, g *onnx.Graph) (int, error)
 func key(name string, version int) string { return name + "@" + strconv.Itoa(version) }
 
 // persist writes the model row into the system table (caller holds lock).
+// The append goes through the DB's durable write path, so a deployed model
+// survives a crash exactly like any committed INSERT.
 func (r *ModelRegistry) persist(m ModelMeta, blob []byte) error {
-	t, err := r.db.Table(modelsTable)
-	if err != nil {
-		return err
-	}
-	return t.AppendRow([]engine.Value{
+	return r.db.AppendRows(modelsTable, [][]engine.Value{{
 		engine.StringValue(m.Name),
 		engine.IntValue(int64(m.Version)),
 		engine.StringValue(string(m.Stage)),
@@ -134,7 +132,7 @@ func (r *ModelRegistry) persist(m ModelMeta, blob []byte) error {
 		engine.StringValue(m.CreatedAt.UTC().Format(time.RFC3339)),
 		engine.StringValue(strings.Join(m.Inputs, ",")),
 		engine.StringValue(base64.StdEncoding.EncodeToString(blob)),
-	})
+	}})
 }
 
 // Promote moves a model version to a lifecycle stage. Promoting a version

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/onnx"
 	"repro/internal/opt"
+	"repro/internal/sql"
 )
 
 func TestExecContextPreCanceled(t *testing.T) {
@@ -274,5 +275,87 @@ func TestCancelDuringScan(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("canceled scan did not return within 10s")
+	}
+}
+
+// countdownCtx is a deterministic cancellation source: it reports Done
+// (closed channel) only after its Done() method has been polled more than
+// threshold times. Execution over a fixed input polls in a fixed order, so
+// the trip point can be placed precisely — here, inside the sort
+// comparator.
+type countdownCtx struct {
+	threshold int
+	polls     int
+	closed    chan struct{}
+	open      chan struct{}
+}
+
+func newCountdownCtx(threshold int) *countdownCtx {
+	c := &countdownCtx{threshold: threshold, closed: make(chan struct{}), open: make(chan struct{})}
+	close(c.closed)
+	return c
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	c.polls++
+	if c.polls > c.threshold {
+		return c.closed
+	}
+	return c.open
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls > c.threshold {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Value(any) any               { return nil }
+
+// TestSortCancelsInsideComparator pins the ORDER BY cancellation
+// checkpoint: the sort.SliceStable comparator loop must poll the context,
+// so a cancellation landing between key materialization and gather aborts
+// the statement instead of running the full O(n log n) sort.
+func TestSortCancelsInsideComparator(t *testing.T) {
+	db := NewDB()
+	const n = cancelBatchRows * 4
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64((i * 2654435761) % n) // scrambled, forces real sorting
+	}
+	if _, err := db.CreateTableFromColumns("big",
+		[]string{"id"}, []Column{IntColumn(vals)}); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ctx context.Context) error {
+		ex := &executor{ctx: ctx, db: db, o: ExecOptions{Level: opt.LevelVectorized},
+			env: &compileEnv{ctx: ctx}}
+		_, err := ex.execSort(&opt.Sort{
+			Input: &opt.Scan{Table: "big", Version: -1},
+			Keys:  []opt.SortKey{{Expr: &sql.ColRef{Name: "id"}}},
+		})
+		return err
+	}
+
+	// Pass 1: count every context poll of a full, uncanceled run. The polls
+	// beyond the handful made by the scan and key materialization all come
+	// from the comparator.
+	counter := newCountdownCtx(1 << 30)
+	if err := run(counter); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.polls
+	const preSortPolls = 20 // generous bound on scan + materialization polls
+	if total <= preSortPolls {
+		t.Fatalf("only %d context polls for a %d-row sort: comparator is not polling", total, n)
+	}
+
+	// Pass 2: trip the context a few polls before the end — provably inside
+	// the comparator loop — and require a context.Canceled abort.
+	if err := run(newCountdownCtx(total - 3)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from mid-sort cancellation, got %v", err)
 	}
 }

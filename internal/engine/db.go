@@ -28,6 +28,23 @@ type DB struct {
 	log    []LogEntry
 	logSeq int64
 
+	// commitMu is the statement-level commit barrier: every committing
+	// statement (DML apply + WAL append, DDL, query-log append) holds it in
+	// read mode, and snapshot/checkpoint construction holds it exclusively.
+	// A snapshot therefore sits between whole statements — never inside one,
+	// and never between a statement's in-memory apply and its WAL record.
+	commitMu sync.RWMutex
+
+	// wal, durDir and replayLSN are set by OpenDirDB: the attached
+	// write-ahead log, the data directory it lives in, and the highest LSN
+	// applied during boot-time recovery (snapshot + replay). ckptMu
+	// serializes whole checkpoints: overlapping runs could otherwise retire
+	// segments covered only by the other's not-yet-renamed snapshot.
+	wal       *WAL
+	durDir    string
+	replayLSN int64
+	ckptMu    sync.Mutex
+
 	models opt.ModelProvider
 
 	// udfScorer builds the scorer used by UDF-mode PREDICT; defaults to an
@@ -52,14 +69,20 @@ func (db *DB) SetModelProvider(p opt.ModelProvider) {
 	db.models = p
 }
 
-// CreateTable registers a new empty table.
+// CreateTable registers a new empty table (a committed, WAL-logged DDL
+// statement).
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
 	t := NewTable(name, schema)
+	if err := db.walAppend(&WALRecord{Kind: WALCreate, Table: name, Schema: t.schema}, true); err != nil {
+		return nil, err
+	}
 	db.tables[name] = t
 	return t, nil
 }
@@ -77,18 +100,25 @@ func (db *DB) CreateTableFromColumns(name string, names []string, cols []Column)
 	if err != nil {
 		return nil, err
 	}
-	if err := t.ReplaceColumns(cols); err != nil {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	if err := db.commitReplace(t, cols); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// DropTable removes a table.
+// DropTable removes a table (a committed, WAL-logged DDL statement).
 func (db *DB) DropTable(name string) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	if err := db.walAppend(&WALRecord{Kind: WALDrop, Table: name}, true); err != nil {
+		return err
 	}
 	delete(db.tables, name)
 	return nil
@@ -141,12 +171,73 @@ func (db *DB) QueryLog() []LogEntry {
 	return append([]LogEntry(nil), db.log...)
 }
 
-// appendLog records an executed statement.
+// appendLog records an executed statement. The entry is WAL-logged but
+// never forces an fsync of its own: the query log is provenance metadata,
+// so its tail riding on the next committed DML record's sync (or being
+// lost with an unacknowledged crash window) is an acceptable trade against
+// paying one fsync per SELECT.
 func (db *DB) appendLog(text, user string) {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.logSeq++
-	db.log = append(db.log, LogEntry{Seq: db.logSeq, Text: text, User: user, At: time.Now()})
+	e := LogEntry{Seq: db.logSeq, Text: text, User: user, At: time.Now()}
+	db.log = append(db.log, e)
+	_ = db.walAppend(&WALRecord{Kind: WALLog, Entry: &e}, false)
+}
+
+// commitAppend applies a batch append and its WAL record as one committed
+// statement, in validate -> log -> install order: a validation error logs
+// nothing, and a WAL failure (disk full, fsync error) installs nothing —
+// either way the statement that errors to the client has no effect. The
+// caller holds t.writeMu (the statement-level write lock — the commit
+// point), so the sequence cannot interleave with another statement on the
+// same table.
+func (db *DB) commitAppend(t *Table, rows [][]Value) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	if len(rows) == 0 {
+		return nil
+	}
+	newCols, err := t.appendBuild(rows)
+	if err != nil {
+		return err
+	}
+	if err := db.walAppend(&WALRecord{Kind: WALInsert, Table: t.Name, Rows: rows}, true); err != nil {
+		return err
+	}
+	t.install(newCols)
+	return nil
+}
+
+// commitReplace applies a whole-table rebuild (UPDATE/DELETE/bulk load) and
+// its WAL record as one committed statement, with the same validate ->
+// log -> install discipline as commitAppend. Caller holds t.writeMu.
+func (db *DB) commitReplace(t *Table, cols []Column) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	if err := t.validateReplace(cols); err != nil {
+		return err
+	}
+	if err := db.walAppend(&WALRecord{Kind: WALReplace, Table: t.Name, Cols: cols}, true); err != nil {
+		return err
+	}
+	t.install(cols)
+	return nil
+}
+
+// AppendRows appends rows to the named table as one committed, WAL-logged
+// statement — the write path internal writers (e.g. the model registry's
+// system table) share with INSERT.
+func (db *DB) AppendRows(table string, rows [][]Value) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	return db.commitAppend(t, rows)
 }
 
 // sessionFor resolves a model name to a planned scoring session (row-mode

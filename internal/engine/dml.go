@@ -163,14 +163,16 @@ func (db *DB) execInsertLevel(ctx context.Context, s *sql.InsertStmt, o ExecOpti
 
 	// Apply under the statement-level write lock so the batch append cannot
 	// interleave with a concurrent UPDATE/DELETE rebuild of the same table.
-	// AppendRows is all-or-nothing and bumps the version once, so neither
-	// cancellation nor a type error can commit a torn partial write.
+	// The append is all-or-nothing and bumps the version once, so neither
+	// cancellation nor a type error can commit a torn partial write; the
+	// commit also lands one WAL record, making the acknowledged batch
+	// crash-durable.
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	if err := ctxCheck(ctx); err != nil {
 		return nil, err
 	}
-	if err := t.AppendRows(buffered); err != nil {
+	if err := db.commitAppend(t, buffered); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: int64(len(buffered))}, nil
@@ -244,7 +246,7 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 			}
 		}
 	}
-	if err := t.ReplaceColumns(newCols); err != nil {
+	if err := db.commitReplace(t, newCols); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: affected}, nil
@@ -281,7 +283,7 @@ func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt, o ExecOptions) 
 		}
 	}
 	kept := rs.Gather(keep)
-	if err := t.ReplaceColumns(kept.Cols); err != nil {
+	if err := db.commitReplace(t, kept.Cols); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: affected}, nil

@@ -951,7 +951,25 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 	for i := range sel {
 		sel[i] = int32(i)
 	}
+	// The comparator polls the context at batch granularity: sort.SliceStable
+	// offers no early exit, so after a cancellation the comparator degrades
+	// to a constant (cheap passes to completion) and the sort's result is
+	// discarded — a huge ORDER BY can no longer pin a worker between key
+	// materialization and gather.
+	canceled := false
+	sinceCheck := 0
 	sort.SliceStable(sel, func(a, b int) bool {
+		if canceled {
+			return false
+		}
+		sinceCheck++
+		if sinceCheck >= cancelBatchRows {
+			sinceCheck = 0
+			if ex.checkCtx() != nil {
+				canceled = true
+				return false
+			}
+		}
 		ra, rb := int(sel[a]), int(sel[b])
 		for i, kv := range keyVecs {
 			c := vecCompareRows(kv, ra, rb)
@@ -964,6 +982,9 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 		}
 		return false
 	})
+	if canceled {
+		return nil, ex.ctx.Err()
+	}
 	return in.Gather(sel), nil
 }
 

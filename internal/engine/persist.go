@@ -8,20 +8,33 @@ import (
 )
 
 // Durable snapshots: the engine serializes every table (schema, data,
-// version counter) and the query log to a single stream, and restores them
-// into an empty database — the durability half of the paper's call for
-// "query, lineage-tracking and storage technology that can cover
-// heterogeneous, versioned, and durable data". Model blobs live in the
-// registry's system table, so a snapshot + ModelRegistry.LoadPersisted is
-// a full recovery.
+// version counter, retained time-travel history) and the query log to a
+// single stream, and restores them into an empty database — the durability
+// half of the paper's call for "query, lineage-tracking and storage
+// technology that can cover heterogeneous, versioned, and durable data".
+// Model blobs live in the registry's system table, so a snapshot +
+// ModelRegistry.LoadPersisted is a full recovery.
+//
+// Format v2 adds the retained history (time travel survives restarts) and
+// the WAL sequence number the snapshot covers (recovery replays only newer
+// records). v1 snapshots still load, with an empty history.
 
 const snapshotMagic = "FLKD"
+
+// savedVersion is one retained historical table version.
+type savedVersion struct {
+	Version int64
+	Cols    []Column
+	Rows    int
+}
 
 type savedTable struct {
 	Name    string
 	Schema  Schema
 	Cols    []Column
 	Version int64
+	History []savedVersion
+	Retain  int
 }
 
 type savedDB struct {
@@ -29,34 +42,64 @@ type savedDB struct {
 	Tables        []savedTable
 	Log           []LogEntry
 	LogSeq        int64
+	LSN           int64
 }
 
-// SaveSnapshot writes a durable snapshot of all tables and the query log.
-func (db *DB) SaveSnapshot(w io.Writer) error {
+// buildSnapshot deep-copies the whole database under the commit barrier.
+func (db *DB) buildSnapshot() savedDB {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	return db.buildSnapshotLocked()
+}
+
+// buildSnapshotLocked assembles a deep copy of every table, the query log
+// and the covered LSN. The caller holds commitMu exclusively, so no
+// statement can commit between any two copies: the log, each table, and
+// cross-table state are captured at one instant (a torn snapshot whose log
+// and data disagree — or whose tables are from different moments — cannot
+// be produced).
+func (db *DB) buildSnapshotLocked() savedDB {
 	db.mu.RLock()
-	snap := savedDB{FormatVersion: 1, Log: append([]LogEntry(nil), db.log...), LogSeq: db.logSeq}
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
+	snap := savedDB{
+		FormatVersion: 2,
+		Log:           append([]LogEntry(nil), db.log...),
+		LogSeq:        db.logSeq,
+		LSN:           db.replayLSN,
 	}
-	tables := make([]*Table, 0, len(names))
-	for _, n := range names {
-		tables = append(tables, db.tables[n])
+	if db.wal != nil {
+		snap.LSN = db.wal.lsn // quiesced: appenders hold commitMu in read mode
+	}
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
 	}
 	db.mu.RUnlock()
 
 	for _, t := range tables {
-		cols, schema, rows := t.snapshot()
-		_ = rows
-		st := savedTable{Name: t.Name, Schema: schema, Version: t.Version()}
-		// Deep-copy columns so the snapshot is stable even if writes race.
-		st.Cols = make([]Column, len(cols))
-		for i := range cols {
-			st.Cols[i] = copyColumn(cols[i])
+		t.mu.RLock()
+		rows := 0
+		if len(t.cols) > 0 {
+			rows = t.cols[0].Len()
 		}
+		st := savedTable{Name: t.Name, Schema: t.schema, Version: t.version, Retain: t.retain}
+		st.Cols = make([]Column, len(t.cols))
+		for i := range t.cols {
+			st.Cols[i] = copyColumn(truncateCol(t.cols[i], rows))
+		}
+		for _, h := range t.history {
+			hv := savedVersion{Version: h.version, Rows: h.rows, Cols: make([]Column, len(h.cols))}
+			for i := range h.cols {
+				hv.Cols[i] = copyColumn(h.cols[i])
+			}
+			st.History = append(st.History, hv)
+		}
+		t.mu.RUnlock()
 		snap.Tables = append(snap.Tables, st)
 	}
+	return snap
+}
 
+func encodeSnapshot(w io.Writer, snap savedDB) error {
 	if _, err := io.WriteString(w, snapshotMagic); err != nil {
 		return fmt.Errorf("engine: SaveSnapshot: %w", err)
 	}
@@ -64,6 +107,14 @@ func (db *DB) SaveSnapshot(w io.Writer) error {
 		return fmt.Errorf("engine: SaveSnapshot: %w", err)
 	}
 	return nil
+}
+
+// SaveSnapshot writes a durable snapshot of all tables (including retained
+// time-travel history) and the query log. The copy is taken under the
+// statement-level commit barrier, so concurrent DML cannot tear it; the
+// encoding happens after the barrier is released.
+func (db *DB) SaveSnapshot(w io.Writer) error {
+	return encodeSnapshot(w, db.buildSnapshot())
 }
 
 func copyColumn(c Column) Column {
@@ -81,7 +132,54 @@ func copyColumn(c Column) Column {
 	return out
 }
 
-// LoadSnapshot restores a snapshot into this (empty) database.
+// checkSavedCols validates decoded columns against a schema: count, types,
+// and a uniform row count.
+func checkSavedCols(schema Schema, cols []Column, wantRows int) error {
+	if len(cols) != len(schema) {
+		return fmt.Errorf("%d columns for %d schema entries", len(cols), len(schema))
+	}
+	for i, c := range cols {
+		if c.Type != schema[i].Type {
+			return fmt.Errorf("column %s: type %s, want %s", schema[i].Name, c.Type, schema[i].Type)
+		}
+		if c.Len() != wantRows {
+			return fmt.Errorf("column %s: %d rows, want %d", schema[i].Name, c.Len(), wantRows)
+		}
+	}
+	return nil
+}
+
+// tableFromSaved rebuilds one table (data, version counter, history) from
+// its decoded form, validating everything before the table is published.
+func tableFromSaved(st savedTable, formatVersion int) (*Table, error) {
+	t := NewTable(st.Name, st.Schema)
+	rows := 0
+	if len(st.Cols) > 0 {
+		rows = st.Cols[0].Len()
+	}
+	if err := checkSavedCols(t.schema, st.Cols, rows); err != nil {
+		return nil, fmt.Errorf("table %s: %w", st.Name, err)
+	}
+	t.cols = st.Cols
+	t.version = st.Version
+	t.statsVersion = -1
+	if formatVersion >= 2 {
+		t.retain = st.Retain
+	}
+	for _, h := range st.History {
+		if err := checkSavedCols(t.schema, h.Cols, h.Rows); err != nil {
+			return nil, fmt.Errorf("table %s version %d: %w", st.Name, h.Version, err)
+		}
+		t.history = append(t.history, tableSnapshot{version: h.Version, cols: h.Cols, rows: h.Rows})
+	}
+	t.trimHistoryLocked() // t is unpublished; no lock needed yet
+	return t, nil
+}
+
+// LoadSnapshot restores a snapshot into this (empty) database. The restore
+// is all-or-nothing: every table is decoded and validated before anything
+// is installed, so a corrupt snapshot leaves the database empty and a
+// retry (with a good snapshot) succeeds.
 func (db *DB) LoadSnapshot(r io.Reader) error {
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -94,33 +192,40 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("engine: LoadSnapshot: %w", err)
 	}
-	if snap.FormatVersion != 1 {
+	if snap.FormatVersion != 1 && snap.FormatVersion != 2 {
 		return fmt.Errorf("engine: LoadSnapshot: unsupported format %d", snap.FormatVersion)
 	}
+	tables := make(map[string]*Table, len(snap.Tables))
+	for _, st := range snap.Tables {
+		if _, dup := tables[st.Name]; dup {
+			return fmt.Errorf("engine: LoadSnapshot: duplicate table %q", st.Name)
+		}
+		t, err := tableFromSaved(st, snap.FormatVersion)
+		if err != nil {
+			return fmt.Errorf("engine: LoadSnapshot: %w", err)
+		}
+		tables[st.Name] = t
+	}
+
 	db.mu.Lock()
+	defer db.mu.Unlock()
 	if len(db.tables) != 0 {
-		db.mu.Unlock()
 		return fmt.Errorf("engine: LoadSnapshot requires an empty database (%d tables present)", len(db.tables))
+	}
+	for n, t := range tables {
+		db.tables[n] = t
 	}
 	db.log = snap.Log
 	db.logSeq = snap.LogSeq
-	db.mu.Unlock()
-
-	for _, st := range snap.Tables {
-		t, err := db.CreateTable(st.Name, st.Schema)
-		if err != nil {
-			return err
-		}
-		if err := t.ReplaceColumns(st.Cols); err != nil {
-			return err
-		}
-		t.mu.Lock()
-		t.version = st.Version
-		t.history = nil // history does not survive restarts (documented)
-		t.statsVersion = -1
-		t.mu.Unlock()
-	}
+	db.replayLSN = snap.LSN
 	return nil
+}
+
+// SaveSnapshotFile writes a snapshot to path crash-safely: temp file in the
+// same directory, fsync, atomic rename, directory fsync — the export path
+// (e.g. flock-sql's \save) shares the checkpoint's write discipline.
+func (db *DB) SaveSnapshotFile(path string) error {
+	return writeSnapshotFile(path, db.buildSnapshot())
 }
 
 // SnapshotBytes is a convenience wrapper returning the snapshot as a blob.

@@ -371,33 +371,66 @@ func (t *Table) AppendRow(vals []Value) error {
 // torn prefix. (Appends may land in shared backing arrays beyond the
 // committed length, which snapshots never observe.)
 func (t *Table) AppendRows(rows [][]Value) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
 	if len(rows) == 0 {
 		return nil
 	}
+	newCols, err := t.appendBuild(rows)
+	if err != nil {
+		return err
+	}
+	t.install(newCols)
+	return nil
+}
+
+// appendBuild validates rows and builds the appended column set without
+// installing it — the build/install split lets the durable write path put
+// the WAL append between validation and the install, so a statement that
+// fails either step mutates nothing. Caller holds t.writeMu.
+func (t *Table) appendBuild(rows [][]Value) ([]Column, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	newCols := make([]Column, len(t.cols))
 	copy(newCols, t.cols)
 	for _, vals := range rows {
 		if len(vals) != len(newCols) {
-			return fmt.Errorf("engine: table %s has %d columns, got %d values", t.Name, len(newCols), len(vals))
+			return nil, fmt.Errorf("engine: table %s has %d columns, got %d values", t.Name, len(newCols), len(vals))
 		}
 		for i := range vals {
 			if err := newCols[i].Append(vals[i]); err != nil {
-				return fmt.Errorf("engine: table %s column %s: %w", t.Name, t.schema[i].Name, err)
+				return nil, fmt.Errorf("engine: table %s column %s: %w", t.Name, t.schema[i].Name, err)
 			}
 		}
 	}
+	return newCols, nil
+}
+
+// install commits pre-built columns as one write: history records the
+// pre-write state and the version bumps once. Caller holds t.writeMu.
+func (t *Table) install(cols []Column) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.recordVersionLocked() // snapshots t.cols, still the pre-write state
-	t.cols = newCols
+	t.cols = cols
 	t.version++
-	return nil
 }
 
 // ReplaceColumns swaps in fully-built columns (bulk load).
 func (t *Table) ReplaceColumns(cols []Column) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	if err := t.validateReplace(cols); err != nil {
+		return err
+	}
+	t.install(cols)
+	return nil
+}
+
+// validateReplace checks a bulk-load column set against the schema.
+func (t *Table) validateReplace(cols []Column) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if len(cols) != len(t.schema) {
 		return fmt.Errorf("engine: table %s has %d columns, got %d", t.Name, len(t.schema), len(cols))
 	}
@@ -412,9 +445,6 @@ func (t *Table) ReplaceColumns(cols []Column) error {
 			return fmt.Errorf("engine: table %s: ragged bulk load", t.Name)
 		}
 	}
-	t.recordVersionLocked()
-	t.cols = cols
-	t.version++
 	return nil
 }
 

@@ -1,0 +1,600 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Write-ahead logging and crash recovery. Every committed DML statement is
+// appended to a durable log as one record, sequenced by a log sequence
+// number (LSN); a periodic checkpoint folds the log into a snapshot
+// (temp-file + fsync + atomic rename) and retires the folded segments; boot
+// replays the latest snapshot plus any surviving log records, skipping
+// records the snapshot already covers (LSN idempotence) and tolerating a
+// torn record at the tail of the last segment (a crash mid-append). The
+// commit point is PR 2's per-table statement write lock: under it a
+// statement validates and builds its effect, appends the WAL record, and
+// only then installs the effect in memory — so a statement that errors to
+// the client (validation or WAL failure) has no effect at all, and an
+// acknowledged write is always either in the snapshot or in the log.
+
+// WAL record kinds.
+const (
+	WALCreate  uint8 = iota + 1 // CREATE TABLE: Table + Schema
+	WALDrop                     // DROP TABLE: Table
+	WALInsert                   // committed INSERT batch: Table + Rows
+	WALReplace                  // committed UPDATE/DELETE/bulk-load rebuild: Table + Cols
+	WALLog                      // query-log append: Entry
+)
+
+// WALRecord is one committed statement in the write-ahead log. Exactly the
+// fields implied by Kind are populated.
+type WALRecord struct {
+	LSN    int64
+	Kind   uint8
+	Table  string
+	Schema Schema
+	Rows   [][]Value
+	Cols   []Column
+	Entry  *LogEntry
+}
+
+// File-layout names inside a durable data directory.
+const (
+	snapshotFile = "snapshot.flk"
+	walFile      = "wal.log"
+	walSegSuffix = ".seg"
+)
+
+// walHeader opens every WAL file so a snapshot can never be mistaken for a
+// log (and vice versa).
+const walHeader = "FLKWAL01"
+
+// frame layout: 4-byte little-endian payload length, 4-byte IEEE CRC32 of
+// the payload, then the payload (a gob-encoded WALRecord). A short or
+// CRC-mismatching frame marks the torn tail of a crashed append.
+const frameHeaderLen = 8
+
+// maxFrameLen bounds a single record so a corrupt length field cannot
+// trigger a multi-gigabyte allocation during recovery.
+const maxFrameLen = 1 << 30
+
+// AppendFrame writes one length+CRC framed payload (shared by the WAL and
+// the audit persistence in core).
+func AppendFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrames streams framed payloads to fn until EOF. A truncated or
+// corrupt frame stops iteration and reports torn=true: everything before
+// the tear was intact, the tear itself is an unacknowledged partial append.
+func ReadFrames(r io.Reader, fn func(payload []byte) error) (torn bool, err error) {
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return false, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return true, nil
+			}
+			return false, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n > maxFrameLen {
+			return true, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return true, nil
+			}
+			return false, err
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return true, nil
+		}
+		if err := fn(payload); err != nil {
+			return false, err
+		}
+	}
+}
+
+// WAL is an append-only, CRC-framed record log. Appends are serialized by
+// the WAL's own mutex (commits to different tables run concurrently);
+// durability per record is governed by the sync policy (fsync on every
+// committed DML record, or leave flushing to the OS).
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	sync   bool
+	lsn    int64
+	size   int64
+	broken bool // a failed append could not be rolled back; refuse commits
+}
+
+// createWAL creates (truncating) a fresh log file whose next record gets
+// LSN startLSN+1.
+func createWAL(path string, syncPolicy bool, startLSN int64) (*WAL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: wal: %w", err)
+	}
+	if _, err := io.WriteString(f, walHeader); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: wal: %w", err)
+	}
+	if syncPolicy {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("engine: wal: %w", err)
+		}
+	}
+	return &WAL{f: f, path: path, sync: syncPolicy, lsn: startLSN, size: int64(len(walHeader))}, nil
+}
+
+// append encodes rec (assigning the next LSN), frames it, and makes it
+// durable per the sync policy when the record carries committed data.
+// Callers hold the DB commit barrier in read mode plus the statement write
+// lock of the state involved, so per-table records arrive in commit order;
+// w.mu interleaves records from concurrent statements on different tables
+// (which commute on replay) without tearing frames.
+func (w *WAL) append(rec *WALRecord, durable bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken {
+		return fmt.Errorf("engine: wal is failed (a previous append could not be rolled back); refusing commits")
+	}
+	var buf bytes.Buffer
+	enc := &WALRecord{}
+	*enc = *rec
+	enc.LSN = w.lsn + 1
+	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
+		return fmt.Errorf("engine: wal append: %w", err)
+	}
+	if buf.Len() > maxFrameLen {
+		// Enforced on the write side too: a frame recovery would reject as
+		// torn must never be acknowledged.
+		return fmt.Errorf("engine: wal append: record of %d bytes exceeds the %d-byte frame limit", buf.Len(), maxFrameLen)
+	}
+	if err := AppendFrame(w.f, buf.Bytes()); err != nil {
+		// A partial frame mid-file would make recovery stop at the tear and
+		// silently drop every later (acknowledged) record: rewind the file
+		// to the last good frame boundary. If that fails, poison the WAL so
+		// no further commit can be acknowledged after the garbage.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.broken = true
+		} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.broken = true
+		}
+		return fmt.Errorf("engine: wal append: %w", err)
+	}
+	if durable && w.sync {
+		if err := w.f.Sync(); err != nil {
+			// The frame is intact but not known durable; the statement will
+			// not be acknowledged and fsync failures are not retryable
+			// (the page cache may already have dropped the dirty pages), so
+			// stop accepting commits.
+			w.broken = true
+			return fmt.Errorf("engine: wal sync: %w", err)
+		}
+	}
+	w.lsn++
+	rec.LSN = w.lsn
+	w.size += int64(frameHeaderLen + buf.Len())
+	return nil
+}
+
+// segName is the rotated-segment name for a log holding records up to lsn;
+// zero-padding keeps lexical order equal to LSN order.
+func segName(lsn int64) string {
+	return fmt.Sprintf("wal-%020d%s", lsn, walSegSuffix)
+}
+
+// segLSN parses the upper LSN out of a rotated segment name.
+func segLSN(name string) (int64, bool) {
+	name = strings.TrimSuffix(name, walSegSuffix)
+	name = strings.TrimPrefix(name, "wal-")
+	v, err := strconv.ParseInt(name, 10, 64)
+	return v, err == nil
+}
+
+// rotate renames the live log to an LSN-stamped segment and starts a fresh
+// one. The caller holds the commit barrier exclusively, so no append can
+// race the swap.
+func (w *WAL) rotate() (segment string, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return "", fmt.Errorf("engine: wal rotate: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return "", fmt.Errorf("engine: wal rotate: %w", err)
+	}
+	dir := filepath.Dir(w.path)
+	segment = filepath.Join(dir, segName(w.lsn))
+	if err := os.Rename(w.path, segment); err != nil {
+		return "", fmt.Errorf("engine: wal rotate: %w", err)
+	}
+	nw, err := createWAL(w.path, w.sync, w.lsn)
+	if err != nil {
+		return "", err
+	}
+	w.f, w.size = nw.f, nw.size
+	return segment, nil
+}
+
+func (w *WAL) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// RecoveryInfo summarizes what boot-time recovery found and did.
+type RecoveryInfo struct {
+	SnapshotLoaded bool          // a snapshot file existed and was restored
+	Segments       int           // WAL files replayed (segments + live log)
+	Records        int           // records applied (after LSN skip)
+	Skipped        int           // records the snapshot already covered
+	TornTail       bool          // the last file ended in a torn record
+	LSN            int64         // highest LSN after recovery
+	Duration       time.Duration // wall time of the whole recovery
+}
+
+// OpenDirDB opens (or initializes) a durable database directory: it loads
+// the latest snapshot, replays surviving WAL records in LSN order,
+// consolidates the result into a fresh snapshot (so a crash loop cannot
+// accumulate unbounded replay work), and attaches a fresh write-ahead log
+// for subsequent commits. syncWAL selects the per-commit fsync policy.
+func OpenDirDB(dir string, syncWAL bool) (*DB, RecoveryInfo, error) {
+	start := time.Now()
+	var info RecoveryInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("engine: open dir: %w", err)
+	}
+	db := NewDB()
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		lerr := db.LoadSnapshot(f)
+		f.Close()
+		if lerr != nil {
+			return nil, info, fmt.Errorf("engine: recovering %s: %w", snapPath, lerr)
+		}
+		info.SnapshotLoaded = true
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, info, fmt.Errorf("engine: open dir: %w", err)
+	}
+
+	// Replay rotated segments in LSN order, then the live log. A torn tail
+	// is tolerated only on the final file: a tear in an earlier segment
+	// would leave a sequencing gap, which is corruption, not a crash.
+	files, err := walFilesInOrder(dir)
+	if err != nil {
+		return nil, info, err
+	}
+	for i, path := range files {
+		applied, skipped, torn, err := db.replayWALFile(path)
+		if err != nil {
+			return nil, info, fmt.Errorf("engine: replaying %s: %w", path, err)
+		}
+		info.Segments++
+		info.Records += applied
+		info.Skipped += skipped
+		if torn {
+			if i != len(files)-1 {
+				return nil, info, fmt.Errorf("engine: wal segment %s is torn mid-sequence (corrupt data directory)", path)
+			}
+			info.TornTail = true
+		}
+	}
+	info.LSN = db.replayLSN
+
+	// Consolidate: fold whatever we replayed into a durable snapshot so the
+	// old segments can be retired before new commits arrive.
+	if len(files) > 0 {
+		if err := writeSnapshotFile(snapPath, db.buildSnapshot()); err != nil {
+			return nil, info, err
+		}
+		for _, path := range files {
+			if err := os.Remove(path); err != nil {
+				return nil, info, fmt.Errorf("engine: retiring %s: %w", path, err)
+			}
+		}
+	}
+
+	wal, err := createWAL(filepath.Join(dir, walFile), syncWAL, info.LSN)
+	if err != nil {
+		return nil, info, err
+	}
+	db.commitMu.Lock()
+	db.wal = wal
+	db.durDir = dir
+	db.commitMu.Unlock()
+	info.Duration = time.Since(start)
+	return db, info, nil
+}
+
+// walFilesInOrder lists the data directory's WAL files oldest-first:
+// LSN-stamped segments, then the live log.
+func walFilesInOrder(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open dir: %w", err)
+	}
+	var segs []string
+	live := false
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, walSegSuffix) {
+			if _, ok := segLSN(name); ok {
+				segs = append(segs, name)
+			}
+		}
+		if name == walFile {
+			live = true
+		}
+	}
+	sort.Strings(segs) // zero-padded LSNs: lexical == numeric order
+	out := make([]string, 0, len(segs)+1)
+	for _, s := range segs {
+		out = append(out, filepath.Join(dir, s))
+	}
+	if live {
+		out = append(out, filepath.Join(dir, walFile))
+	}
+	return out, nil
+}
+
+// replayWALFile applies one log file's records to the database.
+func (db *DB) replayWALFile(path string) (applied, skipped int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	return db.replayWAL(f)
+}
+
+// ReplayWAL applies a WAL stream (header + frames) to the database,
+// skipping records at or below the already-applied LSN — replaying the
+// same log twice is a no-op. It reports the applied/skipped record counts
+// and whether the stream ended in a torn record.
+func (db *DB) ReplayWAL(r io.Reader) (applied, skipped int, torn bool, err error) {
+	return db.replayWAL(r)
+}
+
+func (db *DB) replayWAL(r io.Reader) (applied, skipped int, torn bool, err error) {
+	hdr := make([]byte, len(walHeader))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, true, nil // an empty/torn header: nothing was ever logged
+		}
+		return 0, 0, false, err
+	}
+	if string(hdr) != walHeader {
+		return 0, 0, false, fmt.Errorf("engine: not a WAL file (bad header)")
+	}
+	torn, err = ReadFrames(r, func(payload []byte) error {
+		var rec WALRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("engine: wal decode: %w", err)
+		}
+		if rec.LSN <= db.replayLSN {
+			skipped++
+			return nil
+		}
+		if err := db.applyWALRecord(&rec); err != nil {
+			return err
+		}
+		applied++
+		return nil
+	})
+	return applied, skipped, torn, err
+}
+
+// applyWALRecord re-executes one committed statement's physical effect.
+// Replay runs single-threaded before the WAL is attached, so the regular
+// table primitives (which bump versions and record time-travel history
+// exactly as the original commit did) are used directly.
+func (db *DB) applyWALRecord(rec *WALRecord) error {
+	switch rec.Kind {
+	case WALCreate:
+		if _, err := db.CreateTable(rec.Table, rec.Schema); err != nil {
+			return err
+		}
+	case WALDrop:
+		if err := db.DropTable(rec.Table); err != nil {
+			return err
+		}
+	case WALInsert:
+		t, err := db.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		if err := t.AppendRows(rec.Rows); err != nil {
+			return err
+		}
+	case WALReplace:
+		t, err := db.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		if err := t.ReplaceColumns(rec.Cols); err != nil {
+			return err
+		}
+	case WALLog:
+		if rec.Entry == nil {
+			return fmt.Errorf("engine: wal log record without entry (lsn %d)", rec.LSN)
+		}
+		db.mu.Lock()
+		db.log = append(db.log, *rec.Entry)
+		if rec.Entry.Seq > db.logSeq {
+			db.logSeq = rec.Entry.Seq
+		}
+		db.mu.Unlock()
+	default:
+		return fmt.Errorf("engine: unknown wal record kind %d (lsn %d)", rec.Kind, rec.LSN)
+	}
+	db.replayLSN = rec.LSN
+	return nil
+}
+
+// Checkpoint folds the write-ahead log into the snapshot: under the commit
+// barrier it deep-copies the database state and rotates the live log, then
+// (outside the barrier) writes the snapshot durably — temp file, fsync,
+// atomic rename, directory fsync — and retires every folded segment. A
+// crash at any point leaves a recoverable directory: until the rename
+// lands, the old snapshot plus the rotated segments reconstruct the same
+// state; after it, replay skips the folded records by LSN.
+func (db *DB) Checkpoint() error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.commitMu.Lock()
+	if db.wal == nil || db.durDir == "" {
+		db.commitMu.Unlock()
+		return fmt.Errorf("engine: Checkpoint requires a database opened with OpenDirDB")
+	}
+	snap := db.buildSnapshotLocked()
+	_, err := db.wal.rotate()
+	db.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	if err := writeSnapshotFile(filepath.Join(db.durDir, snapshotFile), snap); err != nil {
+		return err
+	}
+	// The snapshot covers every rotated segment (snap.LSN >= their records);
+	// the live log holds only newer commits.
+	entries, err := os.ReadDir(db.durDir)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, walSegSuffix) {
+			continue
+		}
+		if lsn, ok := segLSN(name); ok && lsn <= snap.LSN {
+			if err := os.Remove(filepath.Join(db.durDir, name)); err != nil {
+				return fmt.Errorf("engine: checkpoint: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeSnapshotFile writes a snapshot durably and atomically: temp file in
+// the same directory, fsync, rename over the target, fsync the directory.
+func writeSnapshotFile(path string, snap savedDB) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := encodeSnapshot(tmp, snap); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Make the rename itself durable; best-effort where the platform
+		// does not support directory fsync.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WALSizeBytes reports the live log's current size (a /metrics gauge).
+func (db *DB) WALSizeBytes() int64 {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	if db.wal == nil {
+		return 0
+	}
+	db.wal.mu.Lock()
+	defer db.wal.mu.Unlock()
+	return db.wal.size
+}
+
+// LastLSN reports the highest assigned log sequence number.
+func (db *DB) LastLSN() int64 {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	if db.wal == nil {
+		return db.replayLSN
+	}
+	db.wal.mu.Lock()
+	defer db.wal.mu.Unlock()
+	return db.wal.lsn
+}
+
+// CloseDurability flushes and closes the write-ahead log (final shutdown;
+// typically preceded by a Checkpoint). The database remains usable but
+// subsequent commits are no longer logged.
+func (db *DB) CloseDurability() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.close()
+	db.wal = nil
+	return err
+}
+
+// walAppend logs one committed record. Callers hold commitMu (read side)
+// plus the lock that serializes writes to the touched state (t.writeMu for
+// table data, db.mu for DDL and the query log), which also serializes the
+// underlying file appends. No-op without an attached WAL.
+func (db *DB) walAppend(rec *WALRecord, durable bool) error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.append(rec, durable)
+}

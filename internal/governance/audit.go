@@ -27,6 +27,7 @@ type AuditEntry struct {
 type AuditLog struct {
 	mu      sync.RWMutex
 	entries []AuditEntry
+	sink    func(AuditEntry)
 }
 
 // NewAuditLog returns an empty log.
@@ -52,7 +53,43 @@ func (l *AuditLog) Record(user, action, object, detail string, allowed bool) Aud
 	}
 	e.Hash = hashEntry(&e)
 	l.entries = append(l.entries, e)
+	if l.sink != nil {
+		l.sink(e)
+	}
 	return e
+}
+
+// SetSink registers a function invoked (under the log lock, in append
+// order) for every new entry — the durability layer's hook for persisting
+// the chain as it grows.
+func (l *AuditLog) SetSink(fn func(AuditEntry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = fn
+}
+
+// Restore seeds an empty log with previously persisted entries after
+// verifying the hash chain end to end — recovery must not resurrect a
+// tampered log.
+func (l *AuditLog) Restore(entries []AuditEntry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) != 0 {
+		return fmt.Errorf("governance: Restore requires an empty audit log (%d entries present)", len(l.entries))
+	}
+	prev := ""
+	for i := range entries {
+		e := entries[i]
+		if e.Seq != int64(i+1) {
+			return fmt.Errorf("governance: restored audit entry %d has seq %d", i, e.Seq)
+		}
+		if e.PrevHash != prev || hashEntry(&e) != e.Hash {
+			return fmt.Errorf("governance: restored audit chain broken at entry %d", i)
+		}
+		prev = e.Hash
+	}
+	l.entries = append([]AuditEntry(nil), entries...)
+	return nil
 }
 
 // Entries returns a copy of the log.

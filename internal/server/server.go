@@ -113,6 +113,9 @@ type Server struct {
 
 	monMu    sync.Mutex
 	monitors []*monitor.ScoreMonitor
+
+	gaugeMu      sync.Mutex
+	gaugeSources []func() map[string]float64
 }
 
 // New assembles a server over flock. Call Serve/ListenAndServe to accept
@@ -160,6 +163,15 @@ func (s *Server) AttachMonitor(m *monitor.ScoreMonitor) {
 	s.monMu.Lock()
 	s.monitors = append(s.monitors, m)
 	s.monMu.Unlock()
+}
+
+// AttachGauges exports an external gauge source on /metrics; the source is
+// polled per scrape (e.g. the durability subsystem's WAL size and
+// checkpoint age).
+func (s *Server) AttachGauges(src func() map[string]float64) {
+	s.gaugeMu.Lock()
+	s.gaugeSources = append(s.gaugeSources, src)
+	s.gaugeMu.Unlock()
 }
 
 // ListenAndServe binds addr and serves until Shutdown.
@@ -420,6 +432,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"flock_admission_queue_depth": float64(s.adm.queued.Load()),
 		"flock_sessions_active":       float64(s.sessions.count()),
 		"flock_plan_cache_entries":    float64(s.plans.len()),
+	}
+	s.gaugeMu.Lock()
+	sources := append([]func() map[string]float64(nil), s.gaugeSources...)
+	s.gaugeMu.Unlock()
+	for _, src := range sources {
+		for k, v := range src() {
+			gauges[k] = v
+		}
 	}
 	s.monMu.Lock()
 	monitors := append([]*monitor.ScoreMonitor(nil), s.monitors...)

@@ -636,3 +636,38 @@ func BenchmarkServerConcurrent(b *testing.B) {
 		})
 	}
 }
+
+// TestMetricsAttachedGauges: external gauge sources (the durability
+// subsystem) are polled per scrape and exported alongside the built-ins.
+func TestMetricsAttachedGauges(t *testing.T) {
+	s, ts := newTestServer(t, 50, Config{})
+	polls := 0
+	s.AttachGauges(func() map[string]float64 {
+		polls++
+		return map[string]float64{
+			"flock_wal_bytes":              1234,
+			"flock_checkpoint_age_seconds": 0.5,
+		}
+	})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		text := string(raw)
+		for _, want := range []string{
+			"flock_wal_bytes 1234",
+			"# TYPE flock_wal_bytes gauge",
+			"flock_checkpoint_age_seconds 0.5",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	}
+	if polls != 2 {
+		t.Errorf("gauge source polled %d times, want once per scrape (2)", polls)
+	}
+}
