@@ -1,0 +1,225 @@
+// Command benchguard turns `go test -bench` output into a committed JSON
+// baseline and fails CI when a benchmark regresses against it.
+//
+//	go test -run '^$' -bench . -benchtime=100ms . | tee bench.out
+//	benchguard -emit bench.out -out BENCH_pr4.json
+//	benchguard -compare BENCH_pr4_baseline.json -current BENCH_pr4.json -threshold 0.20
+//
+// Compare checks ns/op per benchmark: current > baseline*(1+threshold) is a
+// regression. Benchmarks present on only one side are reported but never
+// fail the run (suites evolve), and sub-10µs benchmarks are skipped as
+// noise-dominated.
+//
+// Because the committed baseline and the CI runner are different machines,
+// -normalize <benchmark> divides every ns/op by that anchor benchmark's
+// ns/op from the same file before comparing: absolute machine speed
+// cancels out and only relative regressions (this code got slower relative
+// to the rest of the engine) trip the threshold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics,omitempty"` // extra ReportMetric pairs (allocs/op, records/fsync, ...)
+}
+
+func main() {
+	emit := flag.String("emit", "", "parse `go test -bench` output from this file (- for stdin) and write JSON")
+	out := flag.String("out", "BENCH.json", "output path for -emit")
+	baseline := flag.String("compare", "", "baseline JSON to compare against")
+	current := flag.String("current", "", "current JSON for -compare")
+	threshold := flag.Float64("threshold", 0.20, "allowed ns/op regression fraction")
+	minNs := flag.Float64("min-ns", 10_000, "ignore benchmarks faster than this (noise floor)")
+	normalize := flag.String("normalize", "", "anchor benchmark: compare ns/op ratios against it instead of absolute ns/op (cross-machine baselines)")
+	skip := flag.String("skip", "", "regexp of benchmark names to exclude from the compare (shape-dependent entries, e.g. multi-worker sweeps whose scaling depends on core count)")
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		results, err := parseBench(*emit)
+		if err != nil {
+			fatal(err)
+		}
+		if len(results) == 0 {
+			fatal(fmt.Errorf("no benchmark lines found in %s", *emit))
+		}
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(results), *out)
+	case *baseline != "":
+		if *current == "" {
+			fatal(fmt.Errorf("-compare requires -current"))
+		}
+		if err := compare(*baseline, *current, *threshold, *minNs, *normalize, *skip); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+// parseBench extracts benchmark lines of the form
+//
+//	BenchmarkName/sub=1-8   123   45678 ns/op   12 B/op   3 allocs/op   4.5 extra-metric
+func parseBench(path string) (map[string]Result, error) {
+	var r *os.File
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	results := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// The -N GOMAXPROCS suffix varies by runner; strip it so baselines
+		// compare across machines.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		if res.NsPerOp > 0 {
+			results[name] = res
+		}
+	}
+	return results, sc.Err()
+}
+
+func compare(basePath, curPath string, threshold, minNs float64, normalize, skip string) error {
+	base, err := loadJSON(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadJSON(curPath)
+	if err != nil {
+		return err
+	}
+	var skipRe *regexp.Regexp
+	if skip != "" {
+		skipRe, err = regexp.Compile(skip)
+		if err != nil {
+			return fmt.Errorf("bad -skip pattern: %w", err)
+		}
+	}
+	baseAnchor, curAnchor := 1.0, 1.0
+	if normalize != "" {
+		b, ok1 := base[normalize]
+		c, ok2 := cur[normalize]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("normalize anchor %q missing from baseline or current run", normalize)
+		}
+		baseAnchor, curAnchor = b.NsPerOp, c.NsPerOp
+		fmt.Printf("benchguard: normalizing by %s (baseline %.0f ns/op, current %.0f ns/op)\n",
+			normalize, baseAnchor, curAnchor)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		if name == normalize {
+			continue
+		}
+		if skipRe != nil && skipRe.MatchString(name) {
+			fmt.Printf("benchguard: %-60s skipped (-skip)\n", name)
+			continue
+		}
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("benchguard: %-60s missing from current run (skipped)\n", name)
+			continue
+		}
+		if b.NsPerOp < minNs {
+			fmt.Printf("benchguard: %-60s %12.0f -> %12.0f ns/op (below noise floor, skipped)\n", name, b.NsPerOp, c.NsPerOp)
+			continue
+		}
+		ratio := (c.NsPerOp / curAnchor) / (b.NsPerOp / baseAnchor)
+		status := "ok"
+		if ratio > 1+threshold {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.0f%% slower, normalized)",
+				name, b.NsPerOp, c.NsPerOp, (ratio-1)*100))
+		}
+		fmt.Printf("benchguard: %-60s %12.0f -> %12.0f ns/op (%+5.1f%% normalized) %s\n",
+			name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, status)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchguard: %-60s new benchmark (no baseline)\n", name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
+			len(regressions), threshold*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("benchguard: no regressions")
+	return nil
+}
+
+func loadJSON(path string) (map[string]Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]Result{}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}

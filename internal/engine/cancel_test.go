@@ -47,9 +47,9 @@ func TestDMLContextPreCanceled(t *testing.T) {
 
 // TestFilterRangeCancelsAtBatchBoundary proves the acceptance criterion
 // directly: a cancellation arriving mid-scan stops the filter loop at the
-// NEXT batch boundary — exactly one more kernel call never happens.
+// NEXT morsel boundary — exactly one more kernel call never happens.
 func TestFilterRangeCancelsAtBatchBoundary(t *testing.T) {
-	n := cancelBatchRows * 4
+	n := morselRows * 4
 	rs := &RowSet{
 		Schema: Schema{{Name: "x", Type: TypeInt}},
 		Cols:   []Column{IntColumn(make([]int64, n))},
@@ -70,7 +70,12 @@ func TestFilterRangeCancelsAtBatchBoundary(t *testing.T) {
 		}
 		return v, nil
 	}
-	_, err := ex.filterRange(fn, rs, 0, n)
+	sels, err := ex.filterMorsels(fn, rs, 1)
+	for _, s := range sels {
+		if s != nil {
+			putSel(s)
+		}
+	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}

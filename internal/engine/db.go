@@ -44,6 +44,10 @@ type DB struct {
 	durDir    string
 	replayLSN int64
 	ckptMu    sync.Mutex
+	// retiredWAL keeps the closed WAL reachable so a commit whose
+	// durability wait races CloseDurability still resolves against the
+	// final sync's outcome instead of silently acking (see walWaitDurable).
+	retiredWAL *WAL
 
 	models opt.ModelProvider
 
@@ -101,8 +105,12 @@ func (db *DB) CreateTableFromColumns(name string, names []string, cols []Column)
 		return nil, err
 	}
 	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
-	if err := db.commitReplace(t, cols); err != nil {
+	lsn, err := db.commitReplace(t, cols)
+	t.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.walWaitDurable(lsn); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -189,55 +197,67 @@ func (db *DB) appendLog(text, user string) {
 
 // commitAppend applies a batch append and its WAL record as one committed
 // statement, in validate -> log -> install order: a validation error logs
-// nothing, and a WAL failure (disk full, fsync error) installs nothing —
-// either way the statement that errors to the client has no effect. The
-// caller holds t.writeMu (the statement-level write lock — the commit
-// point), so the sequence cannot interleave with another statement on the
-// same table.
-func (db *DB) commitAppend(t *Table, rows [][]Value) error {
+// nothing, and a WAL append failure (disk full) installs nothing — either
+// way the statement that errors to the client has no effect. The caller
+// holds t.writeMu (the statement-level write lock — the commit point), so
+// the sequence cannot interleave with another statement on the same table.
+//
+// The returned LSN is the statement's WAL frame (0 when no WAL is
+// attached): the frame is written but NOT yet known durable. The caller
+// must release t.writeMu and then block on walWaitDurable(lsn) before
+// acknowledging — moving the fsync wait outside the statement lock is what
+// lets concurrent writers on one table share a single group-commit fsync.
+func (db *DB) commitAppend(t *Table, rows [][]Value) (int64, error) {
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	if len(rows) == 0 {
-		return nil
+		return 0, nil
 	}
 	newCols, err := t.appendBuild(rows)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := db.walAppend(&WALRecord{Kind: WALInsert, Table: t.Name, Rows: rows}, true); err != nil {
-		return err
+	rec := &WALRecord{Kind: WALInsert, Table: t.Name, Rows: rows}
+	if err := db.walAppendFrame(rec); err != nil {
+		return 0, err
 	}
 	t.install(newCols)
-	return nil
+	return rec.LSN, nil
 }
 
 // commitReplace applies a whole-table rebuild (UPDATE/DELETE/bulk load) and
 // its WAL record as one committed statement, with the same validate ->
-// log -> install discipline as commitAppend. Caller holds t.writeMu.
-func (db *DB) commitReplace(t *Table, cols []Column) error {
+// log -> install -> wait-durable discipline as commitAppend. Caller holds
+// t.writeMu and must walWaitDurable the returned LSN after releasing it.
+func (db *DB) commitReplace(t *Table, cols []Column) (int64, error) {
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	if err := t.validateReplace(cols); err != nil {
-		return err
+		return 0, err
 	}
-	if err := db.walAppend(&WALRecord{Kind: WALReplace, Table: t.Name, Cols: cols}, true); err != nil {
-		return err
+	rec := &WALRecord{Kind: WALReplace, Table: t.Name, Cols: cols}
+	if err := db.walAppendFrame(rec); err != nil {
+		return 0, err
 	}
 	t.install(cols)
-	return nil
+	return rec.LSN, nil
 }
 
 // AppendRows appends rows to the named table as one committed, WAL-logged
 // statement — the write path internal writers (e.g. the model registry's
-// system table) share with INSERT.
+// system table) share with INSERT. Returns after the record is durable.
 func (db *DB) AppendRows(table string, rows [][]Value) error {
 	t, err := db.Table(table)
 	if err != nil {
 		return err
 	}
 	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
-	return db.commitAppend(t, rows)
+	lsn, err := db.commitAppend(t, rows)
+	t.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.walWaitDurable(lsn)
 }
 
 // sessionFor resolves a model name to a planned scoring session (row-mode
@@ -374,6 +394,7 @@ func (db *DB) ExecSelectContext(ctx context.Context, s *sql.SelectStmt, o ExecOp
 	if err != nil {
 		return nil, nil, err
 	}
+	plan.Report.Parallelism = o.MaxWorkers()
 	rs, err := db.ExecPlanContext(ctx, plan, o)
 	if err != nil {
 		return nil, nil, err

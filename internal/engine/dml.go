@@ -166,13 +166,20 @@ func (db *DB) execInsertLevel(ctx context.Context, s *sql.InsertStmt, o ExecOpti
 	// The append is all-or-nothing and bumps the version once, so neither
 	// cancellation nor a type error can commit a torn partial write; the
 	// commit also lands one WAL record, making the acknowledged batch
-	// crash-durable.
+	// crash-durable. The durability wait happens after the lock releases:
+	// concurrent INSERTs on one table queue their frames back to back and
+	// share a single group-commit fsync instead of paying one each.
 	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
 	if err := ctxCheck(ctx); err != nil {
+		t.writeMu.Unlock()
 		return nil, err
 	}
-	if err := db.commitAppend(t, buffered); err != nil {
+	lsn, err := db.commitAppend(t, buffered)
+	t.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.walWaitDurable(lsn); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: int64(len(buffered))}, nil
@@ -183,6 +190,19 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 	if err != nil {
 		return nil, err
 	}
+	lsn, affected, err := db.execUpdateLocked(ctx, t, s)
+	if err != nil {
+		return nil, err
+	}
+	// Ack only after the rebuild's WAL frame is fsynced (group commit); the
+	// statement lock is already released, so concurrent writers batch.
+	if err := db.walWaitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execUpdateLocked(ctx context.Context, t *Table, s *sql.UpdateStmt) (int64, int64, error) {
 	// Statement-level write exclusion: the snapshot -> rebuild -> replace
 	// sequence must not interleave with another writer, or that writer's
 	// rows would be silently dropped by ReplaceColumns.
@@ -194,7 +214,7 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 
 	hits, err := whereMask(s.Where, rs, env)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	type setOp struct {
 		idx int
@@ -204,11 +224,11 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 	for i, sc := range s.Sets {
 		idx, err := schema.Resolve("", sc.Column)
 		if err != nil {
-			return nil, err
+			return 0, 0, err
 		}
 		fn, err := compileExpr(sc.Value, schema, env)
 		if err != nil {
-			return nil, err
+			return 0, 0, err
 		}
 		sets[i] = setOp{idx: idx, fn: fn}
 	}
@@ -222,7 +242,7 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 	for r := 0; r < n; r++ {
 		if r%cancelBatchRows == 0 {
 			if err := ctxCheck(ctx); err != nil {
-				return nil, err
+				return 0, 0, err
 			}
 		}
 		hit := hits == nil || hits[r]
@@ -234,7 +254,7 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 			for _, op := range sets {
 				v, err := op.fn(rs, r)
 				if err != nil {
-					return nil, err
+					return 0, 0, err
 				}
 				rowVals[op.idx] = v
 			}
@@ -242,14 +262,15 @@ func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt, o ExecOptions) 
 		}
 		for c := range newCols {
 			if err := newCols[c].Append(rowVals[c]); err != nil {
-				return nil, err
+				return 0, 0, err
 			}
 		}
 	}
-	if err := db.commitReplace(t, newCols); err != nil {
-		return nil, err
+	lsn, err := db.commitReplace(t, newCols)
+	if err != nil {
+		return 0, 0, err
 	}
-	return &Result{Affected: affected}, nil
+	return lsn, affected, nil
 }
 
 func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
@@ -257,6 +278,18 @@ func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt, o ExecOptions) 
 	if err != nil {
 		return nil, err
 	}
+	lsn, affected, err := db.execDeleteLocked(ctx, t, s)
+	if err != nil {
+		return nil, err
+	}
+	// Same ack-after-group-fsync discipline as UPDATE.
+	if err := db.walWaitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execDeleteLocked(ctx context.Context, t *Table, s *sql.DeleteStmt) (int64, int64, error) {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	cols, schema, n := t.snapshot()
@@ -265,14 +298,14 @@ func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt, o ExecOptions) 
 
 	hits, err := whereMask(s.Where, rs, env)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	var keep []int32
 	var affected int64
 	for r := 0; r < n; r++ {
 		if r%cancelBatchRows == 0 {
 			if err := ctxCheck(ctx); err != nil {
-				return nil, err
+				return 0, 0, err
 			}
 		}
 		hit := hits == nil || hits[r]
@@ -283,8 +316,9 @@ func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt, o ExecOptions) 
 		}
 	}
 	kept := rs.Gather(keep)
-	if err := db.commitReplace(t, kept.Cols); err != nil {
-		return nil, err
+	lsn, err := db.commitReplace(t, kept.Cols)
+	if err != nil {
+		return 0, 0, err
 	}
-	return &Result{Affected: affected}, nil
+	return lsn, affected, nil
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/onnx"
@@ -19,6 +18,19 @@ type ExecOptions struct {
 	Level opt.Level
 	// Parallelism caps worker count; 0 means GOMAXPROCS.
 	Parallelism int
+}
+
+// MaxWorkers resolves the option set's morsel worker cap: 1 below
+// LevelParallel, else the explicit Parallelism (GOMAXPROCS when unset).
+// Individual operators may use fewer workers on small inputs.
+func (o ExecOptions) MaxWorkers() int {
+	if o.Level < opt.LevelParallel {
+		return 1
+	}
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // parallelThreshold is the minimum row count before partitioned parallel
@@ -44,6 +56,11 @@ type executor struct {
 // without blocking. A nil context never cancels.
 func (ex *executor) checkCtx() error { return ctxCheck(ex.ctx) }
 
+// workers resolves the worker count for an n-row operator input: 1 below
+// LevelParallel or the size threshold, otherwise the ctx worker cap
+// (ExecOptions.Parallelism, GOMAXPROCS when unset) clamped so every worker
+// has at least one morsel to pull. Every parallel operator sizes its pool
+// through here, so the cap applies uniformly across the tree.
 func (ex *executor) workers(n int) int {
 	if ex.o.Level < opt.LevelParallel || n < parallelThreshold {
 		return 1
@@ -52,27 +69,13 @@ func (ex *executor) workers(n int) int {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > n {
-		w = n
+	if m := morselCount(n); w > m {
+		w = m
 	}
-	return w
-}
-
-// partition splits [0, n) into w contiguous ranges.
-func partition(n, w int) [][2]int {
 	if w < 1 {
 		w = 1
 	}
-	out := make([][2]int, 0, w)
-	size := (n + w - 1) / w
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		out = append(out, [2]int{lo, hi})
-	}
-	return out
+	return w
 }
 
 func (ex *executor) exec(node opt.Node) (*RowSet, error) {
@@ -143,9 +146,10 @@ func (ex *executor) execScan(n *opt.Scan) (*RowSet, error) {
 }
 
 // filterRowSet evaluates pred as a batch kernel over rs and gathers the
-// surviving rows, in parallel partitions when warranted. Each partition is
-// a zero-copy slice of the rowset; the predicate produces a truth mask that
-// collapses into a selection vector.
+// surviving rows. Workers pull morsels from a shared queue (so a skewed
+// predicate cannot idle part of the pool), buffer one pooled selection
+// vector per morsel, and the buffers concatenate in morsel order — parallel
+// output row order is identical to serial.
 func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 	if pred == nil {
 		return rs, nil
@@ -154,73 +158,56 @@ func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := ex.workers(rs.N)
-	if w <= 1 {
-		sel, err := ex.filterRange(fn, rs, 0, rs.N)
-		if err != nil {
-			return nil, err
+	sels, err := ex.filterMorsels(fn, rs, ex.workers(rs.N))
+	release := func() {
+		for _, s := range sels {
+			if s != nil {
+				putSel(s)
+			}
 		}
-		if len(sel) == rs.N {
-			return rs, nil
-		}
-		return rs.Gather(sel), nil
 	}
-	parts := partition(rs.N, w)
-	sels := make([][]int32, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for pi, pr := range parts {
-		wg.Add(1)
-		go func(pi int, lo, hi int) {
-			defer wg.Done()
-			sels[pi], errs[pi] = ex.filterRange(fn, rs, lo, hi)
-		}(pi, pr[0], pr[1])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		release()
+		return nil, err
 	}
 	total := 0
 	for _, s := range sels {
-		total += len(s)
+		total += len(*s)
+	}
+	if total == rs.N {
+		release()
+		return rs, nil
 	}
 	sel := make([]int32, 0, total)
 	for _, s := range sels {
-		sel = append(sel, s...)
+		sel = append(sel, *s...)
 	}
-	if total == rs.N {
-		return rs, nil
-	}
+	release()
 	return rs.Gather(sel), nil
 }
 
-// filterRange evaluates the compiled predicate over rows [lo, hi) of rs in
-// cancellation-sized batches and returns the absolute selection vector.
-// Each batch is a zero-copy slice; the context is polled between batches so
-// a canceled query stops within one batch boundary.
-func (ex *executor) filterRange(fn vecFunc, rs *RowSet, lo, hi int) ([]int32, error) {
-	sel := make([]int32, 0, (hi-lo)/4+1)
-	for blo := lo; blo < hi; blo += cancelBatchRows {
-		if err := ex.checkCtx(); err != nil {
-			return nil, err
-		}
-		bhi := blo + cancelBatchRows
-		if bhi > hi {
-			bhi = hi
-		}
-		part := rs.Slice(blo, bhi)
+// filterMorsels runs the compiled predicate over every morsel of rs on w
+// workers, returning one pooled selection vector per morsel (absolute row
+// ids). The context is polled before each morsel, so a canceled query stops
+// within one morsel of work; the caller owns (and must pool-return) the
+// buffers, even on error.
+func (ex *executor) filterMorsels(fn vecFunc, rs *RowSet, w int) ([]*[]int32, error) {
+	sels := make([]*[]int32, morselCount(rs.N))
+	err := ex.runMorsels(rs.N, w, func(wid, m, lo, hi int) error {
+		sp := getSel()
+		sels[m] = sp
+		part := rs.Slice(lo, hi)
 		v, err := fn(part)
 		if err == nil {
-			err = v.pendingErr(bhi - blo)
+			err = v.pendingErr(hi - lo)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sel = appendTrue(sel, v, bhi-blo, blo)
-	}
-	return sel, nil
+		*sp = appendTrue((*sp)[:0], v, hi-lo, lo)
+		return nil
+	})
+	return sels, err
 }
 
 // execPredict runs the vectorized inference operator: it binds the argument
@@ -275,44 +262,28 @@ func (ex *executor) execPredict(n *opt.Predict) (*RowSet, error) {
 
 	scores := make([]float64, in.N)
 	w := ex.workers(in.N)
-	var runErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for _, pr := range partition(in.N, w) {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for clo := lo; clo < hi; clo += predictChunk {
-				if err := ex.checkCtx(); err != nil {
-					mu.Lock()
-					runErr = err
-					mu.Unlock()
-					return
-				}
-				chi := clo + predictChunk
-				if chi > hi {
-					chi = hi
-				}
-				b := onnx.Batch{N: chi - clo, Cols: make([]onnx.Column, len(batchCols))}
-				for i := range batchCols {
-					if batchCols[i].Nums != nil {
-						b.Cols[i].Nums = batchCols[i].Nums[clo:chi]
-					} else {
-						b.Cols[i].Strs = batchCols[i].Strs[clo:chi]
-					}
-				}
-				if err := sess.RunInto(&b, scores[clo:chi]); err != nil {
-					mu.Lock()
-					runErr = err
-					mu.Unlock()
-					return
+	err = ex.runMorsels(in.N, w, func(wid, m, lo, hi int) error {
+		for clo := lo; clo < hi; clo += predictChunk {
+			chi := clo + predictChunk
+			if chi > hi {
+				chi = hi
+			}
+			b := onnx.Batch{N: chi - clo, Cols: make([]onnx.Column, len(batchCols))}
+			for i := range batchCols {
+				if batchCols[i].Nums != nil {
+					b.Cols[i].Nums = batchCols[i].Nums[clo:chi]
+				} else {
+					b.Cols[i].Strs = batchCols[i].Strs[clo:chi]
 				}
 			}
-		}(pr[0], pr[1])
-	}
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
+			if err := sess.RunInto(&b, scores[clo:chi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	outSchema := append(append(Schema(nil), in.Schema...), ColMeta{Name: n.OutName, Type: TypeFloat})
@@ -428,25 +399,59 @@ func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
 		}
 		return ex.materializeJoin(left, right, combined, lsel, rsel, residual, leftUnmatched)
 	}
-	jt := buildJoinTable(rightVecs, right.N, modes)
-	var matches []int32
-	for l := 0; l < left.N; l++ {
-		if l%cancelBatchRows == 0 {
-			if err := ex.checkCtx(); err != nil {
-				return nil, err
+	jt, err := ex.buildJoinIndex(rightVecs, right.N, modes)
+	if err != nil {
+		return nil, err
+	}
+	// Morsel-parallel probe: workers pull probe-side morsels and buffer their
+	// matched pairs (and unmatched left rows) per morsel; the buffers
+	// concatenate in morsel order, so parallel output is identical to the
+	// serial probe loop.
+	type probeOut struct {
+		lsel, rsel, unmatched []int32
+	}
+	w := ex.workers(left.N)
+	outs := make([]probeOut, morselCount(left.N))
+	err = ex.runMorsels(left.N, w, func(wid, m, lo, hi int) error {
+		var out probeOut
+		mp := getSel()
+		matches := *mp
+		for l := lo; l < hi; l++ {
+			matches = jt.probe(leftVecs, l, matches[:0])
+			if len(matches) == 0 {
+				if n.Type == sql.JoinLeft {
+					out.unmatched = append(out.unmatched, int32(l))
+				}
+				continue
+			}
+			for _, r := range matches {
+				out.lsel = append(out.lsel, int32(l))
+				out.rsel = append(out.rsel, r)
 			}
 		}
-		matches = jt.probe(leftVecs, l, matches[:0])
-		if len(matches) == 0 {
-			if n.Type == sql.JoinLeft {
-				leftUnmatched = append(leftUnmatched, int32(l))
-			}
-			continue
-		}
-		for _, r := range matches {
-			lsel = append(lsel, int32(l))
-			rsel = append(rsel, r)
-		}
+		*mp = matches
+		putSel(mp)
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairs := 0
+	unmatched := 0
+	for i := range outs {
+		pairs += len(outs[i].lsel)
+		unmatched += len(outs[i].unmatched)
+	}
+	lsel = make([]int32, 0, pairs)
+	rsel = make([]int32, 0, pairs)
+	if unmatched > 0 {
+		leftUnmatched = make([]int32, 0, unmatched)
+	}
+	for i := range outs {
+		lsel = append(lsel, outs[i].lsel...)
+		rsel = append(rsel, outs[i].rsel...)
+		leftUnmatched = append(leftUnmatched, outs[i].unmatched...)
 	}
 	return ex.materializeJoin(left, right, combined, lsel, rsel, residual, leftUnmatched)
 }
@@ -533,7 +538,6 @@ func resolvePair(l, r sql.Expr, left, right Schema) (int, int, bool) {
 // Group ids index every slice; only the fields the function needs are
 // allocated.
 type aggAcc struct {
-	vec      *Vec // argument column (nil for count(*))
 	count    []int64
 	sum      []float64
 	seen     []bool
@@ -570,6 +574,11 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 		}
 		keyVecs[i] = v.materialize(in.N)
 	}
+
+	if w := ex.workers(in.N); w > 1 {
+		return ex.execAggregateParallel(n, in, keyVecs, w)
+	}
+
 	gt := buildGroupTable(keyVecs, in.N)
 	G := len(gt.groupRows)
 	if G == 0 && len(n.GroupBy) == 0 {
@@ -582,7 +591,8 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 		if err := ex.checkCtx(); err != nil {
 			return nil, err
 		}
-		a := &aggAcc{count: make([]int64, G)}
+		a := &aggAcc{}
+		a.growCount(G)
 		accs[ai] = a
 		if spec.Arg == nil {
 			if spec.Star {
@@ -592,34 +602,46 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 			}
 			continue
 		}
-		fn, err := compileVec(spec.Arg, in.Schema, ex.env)
+		av, err := ex.evalAggArg(spec, in)
 		if err != nil {
 			return nil, err
 		}
-		v, err := fn(in)
-		if err != nil {
-			return nil, err
-		}
-		if err := v.pendingErr(in.N); err != nil {
-			return nil, err
-		}
-		av := v.materialize(in.N)
-		a.vec = av
 		if spec.Distinct {
 			a.distinct = make(map[distinctKey]bool)
 		}
-		if err := accumulate(a, spec, av, rg, G, in.N); err != nil {
+		a.grow(spec, av.Type, G)
+		if err := accumulateRange(a, spec, av, rg, 0, in.N); err != nil {
 			return nil, err
 		}
 	}
+	return ex.buildAggOutput(n, keyVecs, gt.groupRows, accs, G)
+}
 
-	// Build the output.
+// evalAggArg materializes one aggregate's argument column.
+func (ex *executor) evalAggArg(spec opt.AggSpec, in *RowSet) (*Vec, error) {
+	fn, err := compileVec(spec.Arg, in.Schema, ex.env)
+	if err != nil {
+		return nil, err
+	}
+	v, err := fn(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.pendingErr(in.N); err != nil {
+		return nil, err
+	}
+	return v.materialize(in.N), nil
+}
+
+// buildAggOutput boxes the per-group accumulators into the result rowset
+// (shared by the serial and parallel aggregate paths).
+func (ex *executor) buildAggOutput(n *opt.Aggregate, keyVecs []*Vec, groupRows []int32, accs []*aggAcc, G int) (*RowSet, error) {
 	outSchema := make(Schema, 0, len(n.GroupNames)+len(n.Aggs))
 	outCols := make([]Column, 0, len(n.GroupNames)+len(n.Aggs))
 	// Group column types come from the first group's values.
 	for i, name := range n.GroupNames {
 		t := TypeString
-		if len(gt.groupRows) > 0 && !keyVecs[i].isNull(int(gt.groupRows[0])) {
+		if len(groupRows) > 0 && !keyVecs[i].isNull(int(groupRows[0])) {
 			t = keyVecs[i].Type
 		}
 		outSchema = append(outSchema, ColMeta{Name: name, Type: t})
@@ -640,7 +662,7 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 			}
 		}
 		for i := range n.GroupNames {
-			if err := outCols[i].Append(keyVecs[i].valueAt(int(gt.groupRows[g]))); err != nil {
+			if err := outCols[i].Append(keyVecs[i].valueAt(int(groupRows[g]))); err != nil {
 				return nil, err
 			}
 		}
@@ -680,10 +702,57 @@ func (ex *executor) execAggregate(n *opt.Aggregate) (*RowSet, error) {
 	return NewRowSet(outSchema, outCols)
 }
 
-// accumulate folds the argument column of one aggregate into its per-group
-// accumulators with a typed inner loop. NULLs are skipped; DISTINCT
-// deduplicates per (group, value) through the typed key.
-func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) error {
+// growCount extends the count accumulator to G groups.
+func (a *aggAcc) growCount(G int) {
+	for len(a.count) < G {
+		a.count = append(a.count, 0)
+	}
+}
+
+// grow extends every accumulator array the (func, type) pair needs to G
+// groups, preserving existing group state. The serial path grows once to the
+// final group count; parallel workers grow as their thread-local tables
+// discover groups.
+func (a *aggAcc) grow(spec opt.AggSpec, t ColType, G int) {
+	a.growCount(G)
+	switch spec.Func {
+	case "sum", "avg":
+		if t == TypeInt || t == TypeFloat || t == TypeBool {
+			for len(a.sum) < G {
+				a.sum = append(a.sum, 0)
+			}
+		}
+	case "min", "max":
+		for len(a.seen) < G {
+			a.seen = append(a.seen, false)
+		}
+		switch t {
+		case TypeInt:
+			for len(a.minI) < G {
+				a.minI = append(a.minI, 0)
+			}
+		case TypeFloat:
+			for len(a.minF) < G {
+				a.minF = append(a.minF, 0)
+			}
+		case TypeString:
+			for len(a.minS) < G {
+				a.minS = append(a.minS, "")
+			}
+		case TypeBool:
+			for len(a.minB) < G {
+				a.minB = append(a.minB, false)
+			}
+		}
+	}
+}
+
+// accumulateRange folds rows [lo, hi) of one aggregate's argument column
+// into its per-group accumulators with a typed inner loop; rg maps each row
+// to its group id and the accumulators are already grown to cover every
+// referenced group. NULLs are skipped; DISTINCT deduplicates per
+// (group, value) through the typed key.
+func accumulateRange(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, lo, hi int) error {
 	// skip reports whether row r is null or a distinct-duplicate, mirroring
 	// the row interpreter's per-row checks.
 	skip := func(r int) bool {
@@ -702,29 +771,29 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 	switch spec.Func {
 	case "count":
 		if a.distinct == nil && av.Nulls == nil {
-			for _, g := range rg {
-				a.count[g]++
+			for r := lo; r < hi; r++ {
+				a.count[rg[r]]++
 			}
 			return nil
 		}
-		for r := 0; r < n; r++ {
+		for r := lo; r < hi; r++ {
 			if skip(r) {
 				continue
 			}
 			a.count[rg[r]]++
 		}
 	case "sum", "avg":
-		a.sum = make([]float64, G)
 		switch av.Type {
 		case TypeFloat:
 			if a.distinct == nil && av.Nulls == nil {
-				for r, g := range rg {
+				for r := lo; r < hi; r++ {
+					g := rg[r]
 					a.count[g]++
 					a.sum[g] += av.Floats[r]
 				}
 				return nil
 			}
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -733,13 +802,14 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 			}
 		case TypeInt:
 			if a.distinct == nil && av.Nulls == nil {
-				for r, g := range rg {
+				for r := lo; r < hi; r++ {
+					g := rg[r]
 					a.count[g]++
 					a.sum[g] += float64(av.Ints[r])
 				}
 				return nil
 			}
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -747,7 +817,7 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 				a.sum[rg[r]] += float64(av.Ints[r])
 			}
 		case TypeBool:
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -757,7 +827,7 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 				}
 			}
 		default:
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if av.Nulls != nil && av.Nulls[r] {
 					continue
 				}
@@ -765,12 +835,10 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 			}
 		}
 	case "min", "max":
-		a.seen = make([]bool, G)
 		isMin := spec.Func == "min"
 		switch av.Type {
 		case TypeInt:
-			a.minI = make([]int64, G)
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -783,8 +851,7 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 				a.seen[g] = true
 			}
 		case TypeFloat:
-			a.minF = make([]float64, G)
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -797,8 +864,7 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 				a.seen[g] = true
 			}
 		case TypeString:
-			a.minS = make([]string, G)
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -811,8 +877,7 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 				a.seen[g] = true
 			}
 		case TypeBool:
-			a.minB = make([]bool, G)
-			for r := 0; r < n; r++ {
+			for r := lo; r < hi; r++ {
 				if skip(r) {
 					continue
 				}
@@ -828,7 +893,7 @@ func accumulate(a *aggAcc, spec opt.AggSpec, av *Vec, rg []int32, G, n int) erro
 	default:
 		// Unknown functions surface the same error at output time as the
 		// interpreter did; just count.
-		for r := 0; r < n; r++ {
+		for r := lo; r < hi; r++ {
 			if skip(r) {
 				continue
 			}
@@ -915,6 +980,18 @@ func (ex *executor) execDistinct(n *opt.Distinct) (*RowSet, error) {
 	for i := range in.Cols {
 		vecs[i] = colVec(&in.Cols[i])
 	}
+	if w := ex.workers(in.N); w > 1 {
+		// Thread-local tables over morsels, merged in first-occurrence order
+		// — the same machinery as parallel GROUP BY without accumulators.
+		groupRows, err := ex.parallelGroupRows(vecs, in.N, w)
+		if err != nil {
+			return nil, err
+		}
+		if len(groupRows) == in.N {
+			return in, nil
+		}
+		return in.Gather(groupRows), nil
+	}
 	gt := buildGroupTable(vecs, in.N)
 	if len(gt.groupRows) == in.N {
 		return in, nil
@@ -947,6 +1024,9 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 		}
 		keyVecs[i] = v.materialize(in.N)
 	}
+	if w := ex.workers(in.N); w > 1 {
+		return ex.execSortParallel(in, n.Keys, keyVecs, w)
+	}
 	sel := make([]int32, in.N)
 	for i := range sel {
 		sel[i] = int32(i)
@@ -970,22 +1050,27 @@ func (ex *executor) execSort(n *opt.Sort) (*RowSet, error) {
 				return false
 			}
 		}
-		ra, rb := int(sel[a]), int(sel[b])
-		for i, kv := range keyVecs {
-			c := vecCompareRows(kv, ra, rb)
-			if c != 0 {
-				if n.Keys[i].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
+		return lessRows(keyVecs, n.Keys, int(sel[a]), int(sel[b]))
 	})
 	if canceled {
 		return nil, ex.ctx.Err()
 	}
 	return in.Gather(sel), nil
+}
+
+// lessRows is the shared ORDER BY comparator core: it orders rows ra and rb
+// under the sort keys (NULLs first, numeric kinds as float64).
+func lessRows(keyVecs []*Vec, keys []opt.SortKey, ra, rb int) bool {
+	for i, kv := range keyVecs {
+		c := vecCompareRows(kv, ra, rb)
+		if c != 0 {
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
 }
 
 // inferType statically determines the result type of an expression.

@@ -1,0 +1,577 @@
+package engine
+
+// Parallel physical operators over the morsel queue: GROUP BY / DISTINCT
+// with thread-local pre-aggregation and a deterministic merge phase, and
+// ORDER BY as per-worker chunk sorts folded by pairwise merges. Every path
+// here produces the same rows in the same order as its serial twin in
+// exec.go (float sums may differ in rounding only, because parallel folding
+// re-associates the additions).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/opt"
+)
+
+// localGroups is one worker's (or the merge phase's) group hash table: open
+// addressing over group hashes, growing as groups appear. groupRows holds
+// the first input row of each group in discovery order.
+type localGroups struct {
+	slots     []int32 // open-addressing table of group ids (-1 empty)
+	mask      uint64
+	groupRows []int32  // first row of each group, in discovery order
+	hashes    []uint64 // group hash, for rehashing without re-reading keys
+}
+
+func newLocalGroups() *localGroups {
+	const initCap = 1024
+	lg := &localGroups{slots: make([]int32, initCap), mask: initCap - 1}
+	for i := range lg.slots {
+		lg.slots[i] = -1
+	}
+	return lg
+}
+
+// gidFor returns the group id of row r, inserting a new group when the key
+// is unseen.
+func (lg *localGroups) gidFor(keys []*Vec, modes []keyMode, r int) int32 {
+	h := hashKeyRow(keys, modes, r)
+	p := h & lg.mask
+	for {
+		g := lg.slots[p]
+		if g < 0 {
+			g = int32(len(lg.groupRows))
+			lg.groupRows = append(lg.groupRows, int32(r))
+			lg.hashes = append(lg.hashes, h)
+			lg.slots[p] = g
+			if 2*len(lg.groupRows) > len(lg.slots) {
+				lg.rehash()
+			}
+			return g
+		}
+		if keyRowsEqual(keys, r, keys, int(lg.groupRows[g]), modes) {
+			return g
+		}
+		p = (p + 1) & lg.mask
+	}
+}
+
+// rehash doubles the slot table, reseating every group by its stored hash.
+func (lg *localGroups) rehash() {
+	slots := make([]int32, 2*len(lg.slots))
+	for i := range slots {
+		slots[i] = -1
+	}
+	mask := uint64(len(slots) - 1)
+	for g, h := range lg.hashes {
+		p := h & mask
+		for slots[p] >= 0 {
+			p = (p + 1) & mask
+		}
+		slots[p] = int32(g)
+	}
+	lg.slots, lg.mask = slots, mask
+}
+
+// groupSrc identifies one worker-local group during the merge phase.
+type groupSrc struct {
+	row  int32 // the group's first row within its worker's morsels
+	wid  int32
+	lgid int32
+}
+
+// mergeLocalGroups folds worker-local group tables into one global table.
+// Sources are sorted by first row before insertion, so global group ids are
+// assigned in true first-occurrence order — the serial GROUP BY / DISTINCT
+// output order — and each global group's representative row is its earliest
+// occurrence. Returns the global table, the sorted sources (the
+// deterministic fold order for accumulator merging), and the per-worker
+// localGid -> globalGid remap.
+func mergeLocalGroups(keyVecs []*Vec, modes []keyMode, tables []*localGroups) (*localGroups, []groupSrc, [][]int32) {
+	total := 0
+	for _, lg := range tables {
+		if lg != nil {
+			total += len(lg.groupRows)
+		}
+	}
+	srcs := make([]groupSrc, 0, total)
+	remap := make([][]int32, len(tables))
+	for wid, lg := range tables {
+		if lg == nil {
+			continue
+		}
+		remap[wid] = make([]int32, len(lg.groupRows))
+		for lgid, row := range lg.groupRows {
+			srcs = append(srcs, groupSrc{row: row, wid: int32(wid), lgid: int32(lgid)})
+		}
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].row < srcs[j].row })
+	glob := newLocalGroups()
+	for _, s := range srcs {
+		remap[s.wid][s.lgid] = glob.gidFor(keyVecs, modes, int(s.row))
+	}
+	return glob, srcs, remap
+}
+
+// parallelGroupRows computes the first-occurrence rows of every distinct key
+// combination (the parallel DISTINCT core): workers build thread-local
+// tables over morsels, then the tables merge in first-occurrence order.
+func (ex *executor) parallelGroupRows(keyVecs []*Vec, nRows, w int) ([]int32, error) {
+	modes := vecKeyModes(keyVecs)
+	tables := make([]*localGroups, w)
+	err := ex.runMorsels(nRows, w, func(wid, m, lo, hi int) error {
+		lg := tables[wid]
+		if lg == nil {
+			lg = newLocalGroups()
+			tables[wid] = lg
+		}
+		for r := lo; r < hi; r++ {
+			lg.gidFor(keyVecs, modes, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	glob, _, _ := mergeLocalGroups(keyVecs, modes, tables)
+	return glob.groupRows, nil
+}
+
+// workerAgg is one worker's thread-local pre-aggregation state: its group
+// table plus one accumulator per aggregate spec, all indexed by local group
+// id.
+type workerAgg struct {
+	lg   *localGroups
+	accs []*aggAcc
+}
+
+// execAggregateParallel is the morsel-parallel GROUP BY: each worker
+// pre-aggregates its morsels into thread-local accumulators, the local
+// tables merge into global group ids in first-occurrence order, and the
+// local accumulators fold per group. DISTINCT aggregates collect per-group
+// value sets instead (two workers may both have seen the same value, so
+// pre-aggregated distinct sums would double-count); the merge unions the
+// sets and recomputes.
+func (ex *executor) execAggregateParallel(n *opt.Aggregate, in *RowSet, keyVecs []*Vec, w int) (*RowSet, error) {
+	// Materialize every aggregate argument once, shared read-only. For the
+	// common case — a bare column reference — the kernel aliases table
+	// storage and materialize is a no-op, so this costs nothing. A computed
+	// argument (sum(a*b)) does evaluate serially here before the fan-out,
+	// which bounds speedup for expression-heavy aggregates; pushing kernel
+	// evaluation into the morsel loop would need per-morsel Vec stitching
+	// (nulls, errmasks, consts) and is left as a follow-up.
+	argVecs := make([]*Vec, len(n.Aggs))
+	for ai, spec := range n.Aggs {
+		if spec.Arg == nil {
+			continue
+		}
+		av, err := ex.evalAggArg(spec, in)
+		if err != nil {
+			return nil, err
+		}
+		argVecs[ai] = av
+	}
+	modes := vecKeyModes(keyVecs)
+	// rowGid holds each row's local group id; rows are written only by the
+	// worker that pulled their morsel, so the slice is write-disjoint.
+	rowGid := make([]int32, in.N)
+	states := make([]*workerAgg, w)
+	err := ex.runMorsels(in.N, w, func(wid, m, lo, hi int) error {
+		st := states[wid]
+		if st == nil {
+			st = &workerAgg{lg: newLocalGroups(), accs: make([]*aggAcc, len(n.Aggs))}
+			for ai, spec := range n.Aggs {
+				st.accs[ai] = &aggAcc{}
+				if spec.Distinct && spec.Arg != nil {
+					st.accs[ai].distinct = make(map[distinctKey]bool)
+				}
+			}
+			states[wid] = st
+		}
+		for r := lo; r < hi; r++ {
+			rowGid[r] = st.lg.gidFor(keyVecs, modes, r)
+		}
+		G := len(st.lg.groupRows)
+		for ai := range n.Aggs {
+			spec := n.Aggs[ai]
+			a := st.accs[ai]
+			a.growCount(G)
+			if spec.Arg == nil {
+				if spec.Star {
+					for r := lo; r < hi; r++ {
+						a.count[rowGid[r]]++
+					}
+				}
+				continue
+			}
+			av := argVecs[ai]
+			if spec.Distinct {
+				for r := lo; r < hi; r++ {
+					if av.Nulls != nil && av.Nulls[r] {
+						continue
+					}
+					a.distinct[distinctKeyAt(av, r, rowGid[r])] = true
+				}
+				continue
+			}
+			a.grow(spec, av.Type, G)
+			if err := accumulateRange(a, spec, av, rowGid, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tables := make([]*localGroups, len(states))
+	for wid, st := range states {
+		if st != nil {
+			tables[wid] = st.lg
+		}
+	}
+	glob, srcs, remap := mergeLocalGroups(keyVecs, modes, tables)
+	groupRows := glob.groupRows
+	G := len(groupRows)
+	if G == 0 && len(n.GroupBy) == 0 {
+		G = 1 // parity with the serial path (unreachable: parallel implies rows)
+	}
+
+	accs := make([]*aggAcc, len(n.Aggs))
+	for ai, spec := range n.Aggs {
+		ga := &aggAcc{}
+		ga.growCount(G)
+		if spec.Arg != nil {
+			ga.grow(spec, argVecs[ai].Type, G)
+		}
+		accs[ai] = ga
+	}
+	// Fold the non-distinct locals in first-occurrence order — a fixed,
+	// input-determined order, so merged results are stable across runs.
+	for _, s := range srcs {
+		st := states[s.wid]
+		g := int(remap[s.wid][s.lgid])
+		for ai := range n.Aggs {
+			spec := n.Aggs[ai]
+			if spec.Distinct && spec.Arg != nil {
+				continue
+			}
+			la, ga := st.accs[ai], accs[ai]
+			lgid := int(s.lgid)
+			if lgid < len(la.count) {
+				ga.count[g] += la.count[lgid]
+			}
+			if ga.sum != nil && lgid < len(la.sum) {
+				ga.sum[g] += la.sum[lgid]
+			}
+			if lgid < len(la.seen) && la.seen[lgid] {
+				mergeMinMax(ga, g, la, lgid, spec.Func == "min", argVecs[ai].Type)
+			}
+		}
+	}
+	for ai := range n.Aggs {
+		spec := n.Aggs[ai]
+		if !spec.Distinct || spec.Arg == nil {
+			continue
+		}
+		if err := mergeDistinct(accs[ai], spec, argVecs[ai].Type, G, states, remap, ai); err != nil {
+			return nil, err
+		}
+	}
+	return ex.buildAggOutput(n, keyVecs, groupRows, accs, G)
+}
+
+// mergeMinMax folds one local group's min/max into the global accumulator,
+// replicating the serial comparison rules per type.
+func mergeMinMax(ga *aggAcc, g int, la *aggAcc, lgid int, isMin bool, t ColType) {
+	switch t {
+	case TypeInt:
+		v := la.minI[lgid]
+		if !ga.seen[g] || (isMin && v < ga.minI[g]) || (!isMin && v > ga.minI[g]) {
+			ga.minI[g] = v
+		}
+	case TypeFloat:
+		v := la.minF[lgid]
+		if !ga.seen[g] || (isMin && v < ga.minF[g]) || (!isMin && v > ga.minF[g]) {
+			ga.minF[g] = v
+		}
+	case TypeString:
+		v := la.minS[lgid]
+		if !ga.seen[g] || (isMin && v < ga.minS[g]) || (!isMin && v > ga.minS[g]) {
+			ga.minS[g] = v
+		}
+	case TypeBool:
+		v := la.minB[lgid]
+		if !ga.seen[g] || (isMin && ga.minB[g] && !v) || (!isMin && !ga.minB[g] && v) {
+			ga.minB[g] = v
+		}
+	}
+	ga.seen[g] = true
+}
+
+// mergeDistinct unions the workers' per-group distinct value sets under the
+// global group ids and recomputes the aggregate from the deduplicated
+// values, folding each group's values in sorted order so the result is
+// deterministic.
+func mergeDistinct(ga *aggAcc, spec opt.AggSpec, t ColType, G int, states []*workerAgg, remap [][]int32, ai int) error {
+	seen := make(map[distinctKey]bool)
+	perGroup := make([][]distinctKey, G)
+	for wid, st := range states {
+		if st == nil {
+			continue
+		}
+		for k := range st.accs[ai].distinct {
+			gk := k
+			gk.g = remap[wid][k.g]
+			if seen[gk] {
+				continue
+			}
+			seen[gk] = true
+			perGroup[gk.g] = append(perGroup[gk.g], gk)
+		}
+	}
+	isMin := spec.Func == "min"
+	for g := 0; g < G; g++ {
+		ks := perGroup[g]
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].i != ks[j].i {
+				return ks[i].i < ks[j].i
+			}
+			return ks[i].s < ks[j].s
+		})
+		for _, k := range ks {
+			if err := foldDistinctKey(ga, spec, t, g, k, isMin); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// foldDistinctKey applies one deduplicated value to a global accumulator.
+// The typed value is recovered from the distinct key (floats store their
+// normalized bit pattern, so +0/-0 and NaNs round-trip canonically).
+func foldDistinctKey(ga *aggAcc, spec opt.AggSpec, t ColType, g int, k distinctKey, isMin bool) error {
+	switch spec.Func {
+	case "count":
+		ga.count[g]++
+	case "sum", "avg":
+		var v float64
+		switch t {
+		case TypeInt:
+			v = float64(k.i)
+		case TypeFloat:
+			v = math.Float64frombits(uint64(k.i))
+		case TypeBool:
+			if k.i != 0 {
+				v = 1
+			}
+		default:
+			return fmt.Errorf("engine: %s over %s", spec.Func, t)
+		}
+		ga.count[g]++
+		ga.sum[g] += v
+	case "min", "max":
+		ga.count[g]++
+		switch t {
+		case TypeInt:
+			v := k.i
+			if !ga.seen[g] || (isMin && v < ga.minI[g]) || (!isMin && v > ga.minI[g]) {
+				ga.minI[g] = v
+			}
+		case TypeFloat:
+			v := math.Float64frombits(uint64(k.i))
+			if !ga.seen[g] || (isMin && v < ga.minF[g]) || (!isMin && v > ga.minF[g]) {
+				ga.minF[g] = v
+			}
+		case TypeString:
+			v := k.s
+			if !ga.seen[g] || (isMin && v < ga.minS[g]) || (!isMin && v > ga.minS[g]) {
+				ga.minS[g] = v
+			}
+		case TypeBool:
+			v := k.i != 0
+			if !ga.seen[g] || (isMin && ga.minB[g] && !v) || (!isMin && !ga.minB[g] && v) {
+				ga.minB[g] = v
+			}
+		}
+		ga.seen[g] = true
+	default:
+		ga.count[g]++
+	}
+	return nil
+}
+
+// buildJoinIndex builds the hash-join build side, in parallel when the
+// build input is wide enough: key hashes are computed over morsels, rows
+// are radix-partitioned by their high hash bits (with slack over the worker
+// count so one hot partition cannot serialize the build), and the
+// partitions' tables build as independent tasks.
+func (ex *executor) buildJoinIndex(keys []*Vec, n int, modes []keyMode) (joinIndex, error) {
+	w := ex.workers(n)
+	if w <= 1 {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
+		return buildJoinTable(keys, n, modes), nil
+	}
+	hashes := make([]uint64, n)
+	if err := ex.runMorsels(n, w, func(wid, m, lo, hi int) error {
+		for r := lo; r < hi; r++ {
+			hashes[r] = hashKeyRow(keys, modes, r)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	P, logP := 1, 0
+	for P < 2*w && P < 256 {
+		P <<= 1
+		logP++
+	}
+	shift := uint(64 - logP)
+	// Parallel radix scatter: per-morsel partition histograms, a small
+	// serial prefix-sum over (morsel × partition), then each morsel writes
+	// its rows into disjoint slots of one flat array — no serial O(n) pass.
+	// Within a partition, morsel-major order keeps rows ascending, which
+	// the chain build below relies on.
+	nm := morselCount(n)
+	counts := make([][]int32, nm)
+	if err := ex.runMorsels(n, w, func(wid, m, lo, hi int) error {
+		c := make([]int32, P)
+		for r := lo; r < hi; r++ {
+			c[hashes[r]>>shift]++
+		}
+		counts[m] = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	starts := make([]int32, P+1) // partition start offsets in the flat array
+	for p := 0; p < P; p++ {
+		total := starts[p]
+		for m := 0; m < nm; m++ {
+			c := counts[m][p]
+			counts[m][p] = total // becomes morsel m's write cursor for p
+			total += c
+		}
+		starts[p+1] = total
+	}
+	flat := make([]int32, n)
+	if err := ex.runMorsels(n, w, func(wid, m, lo, hi int) error {
+		cur := counts[m]
+		for r := lo; r < hi; r++ {
+			p := hashes[r] >> shift
+			flat[cur[p]] = int32(r)
+			cur[p]++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	pt := &partedJoinTable{keys: keys, modes: modes, parts: make([]joinPart, P), shift: shift}
+	if err := ex.runTasks(P, w, func(wid, p int) error {
+		pt.parts[p] = buildJoinPart(flat[starts[p]:starts[p+1]], hashes)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// execSortParallel is the morsel-era ORDER BY: contiguous chunks sort in
+// parallel (stable within each chunk), then pairwise merges — ties prefer
+// the earlier-input run — fold them into one order identical to the serial
+// stable sort.
+func (ex *executor) execSortParallel(in *RowSet, keys []opt.SortKey, keyVecs []*Vec, w int) (*RowSet, error) {
+	sel := make([]int32, in.N)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	chunks := make([][]int32, 0, w)
+	size := (in.N + w - 1) / w
+	for lo := 0; lo < in.N; lo += size {
+		hi := lo + size
+		if hi > in.N {
+			hi = in.N
+		}
+		chunks = append(chunks, sel[lo:hi])
+	}
+	var canceled atomic.Bool
+	err := ex.runTasks(len(chunks), w, func(wid, ci int) error {
+		chunk := chunks[ci]
+		var cerr error
+		sinceCheck := 0
+		// Same comparator-degradation trick as the serial path: after a
+		// cancellation the comparator turns constant so the doomed sort
+		// finishes cheaply, and every other chunk bails through the flag.
+		sort.SliceStable(chunk, func(a, b int) bool {
+			if cerr != nil || canceled.Load() {
+				return false
+			}
+			sinceCheck++
+			if sinceCheck >= cancelBatchRows {
+				sinceCheck = 0
+				if e := ex.checkCtx(); e != nil {
+					cerr = e
+					canceled.Store(true)
+					return false
+				}
+			}
+			return lessRows(keyVecs, keys, int(chunk[a]), int(chunk[b]))
+		})
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	for len(chunks) > 1 {
+		merged := make([][]int32, (len(chunks)+1)/2)
+		err := ex.runTasks(len(merged), w, func(wid, i int) error {
+			a := chunks[2*i]
+			if 2*i+1 == len(chunks) {
+				merged[i] = a
+				return nil
+			}
+			m, err := ex.mergeRuns(a, chunks[2*i+1], keyVecs, keys)
+			merged[i] = m
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		chunks = merged
+	}
+	return in.Gather(chunks[0]), nil
+}
+
+// mergeRuns merges two sorted runs; equal keys take the left (earlier-input)
+// run first, preserving stability. The context is polled at batch
+// granularity.
+func (ex *executor) mergeRuns(a, b []int32, keyVecs []*Vec, keys []opt.SortKey) ([]int32, error) {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j, sinceCheck := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		sinceCheck++
+		if sinceCheck >= cancelBatchRows {
+			sinceCheck = 0
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
+		}
+		if lessRows(keyVecs, keys, int(b[j]), int(a[i])) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, nil
+}

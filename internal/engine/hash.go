@@ -293,6 +293,69 @@ func (jt *joinTable) probe(probeKeys []*Vec, l int, dst []int32) []int32 {
 	return dst
 }
 
+// joinIndex is the probe side's view of a hash-join build: the serial
+// single-table build and the parallel radix-partitioned build both satisfy
+// it, so the probe loop is build-agnostic.
+type joinIndex interface {
+	probe(probeKeys []*Vec, l int, dst []int32) []int32
+}
+
+// partedJoinTable is the parallel hash-join build: build rows are radix-
+// partitioned by the high bits of their key hash, and each partition holds
+// an independent open-addressing table built by one worker. Probes hash
+// once, select the partition, and chain through it; chains read in
+// ascending build-row order, so probe output matches the serial table
+// exactly.
+type partedJoinTable struct {
+	keys  []*Vec
+	modes []keyMode
+	parts []joinPart
+	shift uint // partition id = hash >> shift
+}
+
+// joinPart is one partition's table: rows lists the partition's build rows
+// ascending, slots/next chain local indices into rows.
+type joinPart struct {
+	rows  []int32
+	next  []int32
+	slots []int32
+	mask  uint64
+}
+
+// buildJoinPart indexes one partition's rows; hashes is the full build-side
+// hash array (indexed by global row). Inserting in reverse leaves every
+// bucket chain in ascending build-row order.
+func buildJoinPart(rows []int32, hashes []uint64) joinPart {
+	capacity := tableCap(len(rows))
+	jp := joinPart{
+		rows:  rows,
+		next:  make([]int32, len(rows)),
+		slots: make([]int32, capacity),
+		mask:  uint64(capacity - 1),
+	}
+	for i := range jp.slots {
+		jp.slots[i] = -1
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		p := hashes[rows[i]] & jp.mask
+		jp.next[i] = jp.slots[p]
+		jp.slots[p] = int32(i)
+	}
+	return jp
+}
+
+func (pt *partedJoinTable) probe(probeKeys []*Vec, l int, dst []int32) []int32 {
+	h := hashKeyRow(probeKeys, pt.modes, l)
+	jp := &pt.parts[h>>pt.shift]
+	for e := jp.slots[h&jp.mask]; e >= 0; e = jp.next[e] {
+		r := jp.rows[e]
+		if keyRowsEqual(probeKeys, l, pt.keys, int(r), pt.modes) {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
 // distinctKey is the per-group key for DISTINCT aggregates: the group id
 // plus one typed value (floats store normalized bits in i so NaN keys
 // behave; strings use s). No string encoding, no allocation.

@@ -1,0 +1,162 @@
+package engine
+
+// Morsel-driven parallel execution. Instead of carving the input into one
+// contiguous range per worker (which idles workers when a predicate, probe,
+// or group distribution is skewed), operators enqueue fixed-size row ranges
+// — morsels — that a pool of workers pulls from a shared atomic cursor.
+// A worker that drew cheap morsels simply pulls more; the last morsel
+// bounds the idle tail. Results that must preserve row order are buffered
+// per morsel and concatenated in morsel order, so parallel output is
+// identical to serial output.
+//
+// The context is polled once per morsel (and per task), so cancellation
+// granularity is at least as fine as the serial batch loops.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// morselRows is the fixed morsel size: half the parallel threshold, so any
+// input wide enough to parallelize yields at least two morsels, and small
+// enough that per-morsel scratch (selection vectors, truth masks) pools
+// cheaply. It also bounds cancellation latency: the context is polled per
+// morsel.
+const morselRows = 4096
+
+// morselCount is the number of morsels covering n rows.
+func morselCount(n int) int { return (n + morselRows - 1) / morselRows }
+
+// morselBounds maps morsel m over n rows to its [lo, hi) row range.
+func morselBounds(m, n int) (lo, hi int) {
+	lo = m * morselRows
+	hi = lo + morselRows
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// activeWorkers counts operator worker goroutines currently running across
+// every in-flight query (the flock_exec_workers gauge).
+var activeWorkers atomic.Int64
+
+// ActiveWorkers reports how many engine operator workers are running right
+// now, across all queries (exported on /metrics by the serving layer).
+func ActiveWorkers() int64 { return activeWorkers.Load() }
+
+// runTasks executes task(workerID, i) for every i in [0, count) on up to w
+// workers pulling task indices from a shared cursor. The first error stops
+// the pool (workers finish their current task); the context is polled before
+// every task. With w <= 1 the tasks run inline on the calling goroutine.
+func (ex *executor) runTasks(count, w int, task func(wid, i int) error) error {
+	if count <= 0 {
+		return nil
+	}
+	if w > count {
+		w = count
+	}
+	if w <= 1 {
+		for i := 0; i < count; i++ {
+			if err := ex.checkCtx(); err != nil {
+				return err
+			}
+			if err := task(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
+			for !stop.Load() {
+				i := int(cursor.Add(1) - 1)
+				if i >= count {
+					return
+				}
+				if err := ex.checkCtx(); err != nil {
+					errs[wid] = err
+					stop.Store(true)
+					return
+				}
+				if err := task(wid, i); err != nil {
+					errs[wid] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runMorsels fans n rows out to w workers pulling morsels from a shared
+// queue. worker receives the worker id, the morsel index (for order-
+// preserving per-morsel result buffers), and the morsel's [lo, hi) range.
+func (ex *executor) runMorsels(n, w int, worker func(wid, m, lo, hi int) error) error {
+	return ex.runTasks(morselCount(n), w, func(wid, m int) error {
+		lo, hi := morselBounds(m, n)
+		return worker(wid, m, lo, hi)
+	})
+}
+
+// Scratch pools for the hot kernels: per-morsel selection vectors, truth
+// masks, and join match buffers live exactly as long as one morsel (or one
+// concatenation), so pooling them removes the dominant steady-state
+// allocations of filter, join, and DML WHERE evaluation.
+
+var selPool = sync.Pool{
+	New: func() any {
+		s := make([]int32, 0, morselRows)
+		return &s
+	},
+}
+
+// getSel returns an empty pooled []int32 with at least morselRows capacity.
+func getSel() *[]int32 { return selPool.Get().(*[]int32) }
+
+// putSel returns a selection buffer to the pool.
+func putSel(s *[]int32) {
+	*s = (*s)[:0]
+	selPool.Put(s)
+}
+
+var maskPool = sync.Pool{
+	New: func() any {
+		m := make([]bool, 0, morselRows)
+		return &m
+	},
+}
+
+// getMask returns a pooled []bool resized to n (contents zeroed).
+func getMask(n int) *[]bool {
+	mp := maskPool.Get().(*[]bool)
+	m := *mp
+	if cap(m) < n {
+		m = make([]bool, n)
+	} else {
+		m = m[:n]
+		for i := range m {
+			m[i] = false
+		}
+	}
+	*mp = m
+	return mp
+}
+
+// putMask returns a truth-mask buffer to the pool.
+func putMask(m *[]bool) { maskPool.Put(m) }

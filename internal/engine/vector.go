@@ -373,8 +373,14 @@ func (dst *Vec) setFrom(i int, src *Vec, j int) error {
 // truthyMask reduces the vector to a physical-length truth mask (NULL is
 // false). The mask is freshly allocated and owned by the caller.
 func (v *Vec) truthyMask() []bool {
+	return v.truthyMaskInto(make([]bool, v.phys()))
+}
+
+// truthyMaskInto is truthyMask writing into a caller-owned buffer of length
+// phys() (the pooled-scratch path: appendTrue discards the mask immediately,
+// so it borrows one from the morsel pool instead of allocating).
+func (v *Vec) truthyMaskInto(m []bool) []bool {
 	n := v.phys()
-	m := make([]bool, n)
 	switch v.Type {
 	case TypeBool:
 		copy(m, v.Bools[:n])
@@ -404,9 +410,12 @@ func (v *Vec) truthyMask() []bool {
 func boolVec(m []bool, konst bool) *Vec { return &Vec{Type: TypeBool, Bools: m, Const: konst} }
 
 // appendTrue appends base+i to sel for every logical row i < n whose truth
-// mask entry is set.
+// mask entry is set. The truth mask is pooled scratch: it lives only for
+// this call.
 func appendTrue(sel []int32, v *Vec, n, base int) []int32 {
-	m := v.truthyMask()
+	mp := getMask(v.phys())
+	defer putMask(mp)
+	m := v.truthyMaskInto(*mp)
 	if v.Const {
 		if m[0] {
 			for i := 0; i < n; i++ {

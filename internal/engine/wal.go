@@ -121,16 +121,38 @@ func ReadFrames(r io.Reader, fn func(payload []byte) error) (torn bool, err erro
 
 // WAL is an append-only, CRC-framed record log. Appends are serialized by
 // the WAL's own mutex (commits to different tables run concurrently);
-// durability per record is governed by the sync policy (fsync on every
-// committed DML record, or leave flushing to the OS).
+// durability per record is governed by the sync policy (fsync before the
+// commit is acknowledged, or leave flushing to the OS).
+//
+// Under the sync policy, durability is group commit: committers append
+// their frames under w.mu and then wait for the synced watermark to reach
+// their LSN. The first waiter behind the watermark elects itself leader,
+// snapshots the current append LSN, and performs ONE fsync that covers
+// every frame written so far — the whole batch of concurrent committers —
+// then wakes the others. N concurrent commits cost ~1 fsync instead of N,
+// and the ack-after-sync invariant is unchanged: no commit returns before
+// a Sync covering its frame has completed.
 type WAL struct {
 	mu     sync.Mutex
+	cond   *sync.Cond // broadcast when syncedLSN advances or the WAL fails
 	f      *os.File
 	path   string
 	sync   bool
 	lsn    int64
 	size   int64
 	broken bool // a failed append could not be rolled back; refuse commits
+
+	syncedLSN int64 // highest LSN covered by a completed fsync
+	syncing   bool  // a leader's fsync is in flight
+	syncErr   error // sticky fsync failure (fsync errors are not retryable)
+
+	// Group-commit accounting counts only durable-commit records (DML/DDL);
+	// WALLog query-log frames ride the same fsyncs but asking for no
+	// durability of their own, they would inflate the amortization gauge.
+	durableAppended int64 // durable records framed so far
+	durableSynced   int64 // durable records covered by completed fsyncs
+	groupSyncs      int64 // completed group-commit fsyncs
+	groupRecords    int64 // durable records those fsyncs covered
 }
 
 // createWAL creates (truncating) a fresh log file whose next record gets
@@ -150,32 +172,35 @@ func createWAL(path string, syncPolicy bool, startLSN int64) (*WAL, error) {
 			return nil, fmt.Errorf("engine: wal: %w", err)
 		}
 	}
-	return &WAL{f: f, path: path, sync: syncPolicy, lsn: startLSN, size: int64(len(walHeader))}, nil
+	w := &WAL{f: f, path: path, sync: syncPolicy, lsn: startLSN, syncedLSN: startLSN, size: int64(len(walHeader))}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
 }
 
-// append encodes rec (assigning the next LSN), frames it, and makes it
-// durable per the sync policy when the record carries committed data.
-// Callers hold the DB commit barrier in read mode plus the statement write
-// lock of the state involved, so per-table records arrive in commit order;
-// w.mu interleaves records from concurrent statements on different tables
-// (which commute on replay) without tearing frames.
-func (w *WAL) append(rec *WALRecord, durable bool) error {
+// appendFrame encodes rec (assigning the next LSN) and frames it into the
+// log WITHOUT making it durable; the caller decides whether to wait on
+// waitDurable. durable marks records a commit will wait on (group-commit
+// accounting). Callers hold the DB commit barrier in read mode plus the
+// statement write lock of the state involved, so per-table records arrive
+// in commit order; w.mu interleaves records from concurrent statements on
+// different tables (which commute on replay) without tearing frames.
+func (w *WAL) appendFrame(rec *WALRecord, durable bool) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken {
-		return fmt.Errorf("engine: wal is failed (a previous append could not be rolled back); refusing commits")
+		return 0, fmt.Errorf("engine: wal is failed (a previous append could not be rolled back); refusing commits")
 	}
 	var buf bytes.Buffer
 	enc := &WALRecord{}
 	*enc = *rec
 	enc.LSN = w.lsn + 1
 	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
-		return fmt.Errorf("engine: wal append: %w", err)
+		return 0, fmt.Errorf("engine: wal append: %w", err)
 	}
 	if buf.Len() > maxFrameLen {
 		// Enforced on the write side too: a frame recovery would reject as
 		// torn must never be acknowledged.
-		return fmt.Errorf("engine: wal append: record of %d bytes exceeds the %d-byte frame limit", buf.Len(), maxFrameLen)
+		return 0, fmt.Errorf("engine: wal append: record of %d bytes exceeds the %d-byte frame limit", buf.Len(), maxFrameLen)
 	}
 	if err := AppendFrame(w.f, buf.Bytes()); err != nil {
 		// A partial frame mid-file would make recovery stop at the tear and
@@ -187,22 +212,92 @@ func (w *WAL) append(rec *WALRecord, durable bool) error {
 		} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
 			w.broken = true
 		}
-		return fmt.Errorf("engine: wal append: %w", err)
-	}
-	if durable && w.sync {
-		if err := w.f.Sync(); err != nil {
-			// The frame is intact but not known durable; the statement will
-			// not be acknowledged and fsync failures are not retryable
-			// (the page cache may already have dropped the dirty pages), so
-			// stop accepting commits.
-			w.broken = true
-			return fmt.Errorf("engine: wal sync: %w", err)
-		}
+		return 0, fmt.Errorf("engine: wal append: %w", err)
 	}
 	w.lsn++
 	rec.LSN = w.lsn
 	w.size += int64(frameHeaderLen + buf.Len())
+	if durable {
+		w.durableAppended++
+	}
+	return w.lsn, nil
+}
+
+// waitDurable blocks until every frame up to lsn is covered by a completed
+// fsync (the group-commit wait). The first waiter behind the watermark
+// becomes the leader: it snapshots the append LSN, releases w.mu for the
+// fsync itself (so more committers can append frames that the NEXT fsync
+// will cover), and broadcasts the new watermark. A no-op when the sync
+// policy is off. Callers hold the commit barrier in read mode — rotation
+// (which swaps the file under an exclusive barrier) can therefore never
+// overlap an in-flight leader fsync.
+func (w *WAL) waitDurable(lsn int64) error {
+	if !w.sync || lsn == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncedLSN < lsn {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.f == nil {
+			return fmt.Errorf("engine: wal closed before commit %d was durable", lsn)
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		target := w.lsn // every frame appended so far rides this fsync
+		durableTarget := w.durableAppended
+		f := w.f
+		w.mu.Unlock()
+		err := f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			// The batch is not known durable and fsync failures are not
+			// retryable (the page cache may already have dropped the dirty
+			// pages): poison the WAL so no later commit can be acknowledged,
+			// and fail every current waiter.
+			w.broken = true
+			w.syncErr = fmt.Errorf("engine: wal sync: %w", err)
+			w.cond.Broadcast()
+			return w.syncErr
+		}
+		if target > w.syncedLSN {
+			w.groupSyncs++
+			w.groupRecords += durableTarget - w.durableSynced
+			w.durableSynced = durableTarget
+			w.syncedLSN = target
+		}
+		w.cond.Broadcast()
+	}
 	return nil
+}
+
+// append is the frame-then-wait composition for callers that can block with
+// their locks held (DDL, which is rare and already serialized on db.mu).
+// DML commits instead append under their statement lock and wait after
+// releasing it, so concurrent writers on one table still share fsyncs.
+func (w *WAL) append(rec *WALRecord, durable bool) error {
+	lsn, err := w.appendFrame(rec, durable)
+	if err != nil {
+		return err
+	}
+	if durable {
+		return w.waitDurable(lsn)
+	}
+	return nil
+}
+
+// groupCommitStats reports completed group-commit fsyncs and the records
+// they covered (the fsync-amortization gauge).
+func (w *WAL) groupCommitStats() (syncs, records int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.groupSyncs, w.groupRecords
 }
 
 // segName is the rotated-segment name for a log holding records up to lsn;
@@ -241,6 +336,10 @@ func (w *WAL) rotate() (segment string, err error) {
 		return "", err
 	}
 	w.f, w.size = nw.f, nw.size
+	// The pre-rotation Sync covered every frame in the old file.
+	w.syncedLSN = w.lsn
+	w.durableSynced = w.durableAppended
+	w.cond.Broadcast()
 	return segment, nil
 }
 
@@ -254,7 +353,20 @@ func (w *WAL) close() error {
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		w.syncedLSN = w.lsn
+		w.durableSynced = w.durableAppended
+	} else {
+		// A failed final sync means frames behind the watermark are not
+		// known durable: poison the WAL so any commit still racing toward
+		// its durability wait errors instead of acking.
+		w.broken = true
+		if w.syncErr == nil {
+			w.syncErr = fmt.Errorf("engine: wal close: %w", err)
+		}
+	}
 	w.f = nil
+	w.cond.Broadcast()
 	return err
 }
 
@@ -584,17 +696,66 @@ func (db *DB) CloseDurability() error {
 		return nil
 	}
 	err := db.wal.close()
+	db.retiredWAL = db.wal
 	db.wal = nil
 	return err
 }
 
-// walAppend logs one committed record. Callers hold commitMu (read side)
-// plus the lock that serializes writes to the touched state (t.writeMu for
-// table data, db.mu for DDL and the query log), which also serializes the
-// underlying file appends. No-op without an attached WAL.
+// walAppend logs one committed record, blocking for durability inline when
+// durable is set (the DDL path; rare, already serialized on db.mu). Callers
+// hold commitMu (read side) plus the lock that serializes writes to the
+// touched state (t.writeMu for table data, db.mu for DDL and the query
+// log), which also serializes the underlying file appends. No-op without an
+// attached WAL.
 func (db *DB) walAppend(rec *WALRecord, durable bool) error {
 	if db.wal == nil {
 		return nil
 	}
 	return db.wal.append(rec, durable)
+}
+
+// walAppendFrame frames one committed record without waiting for
+// durability (the DML commit path: frame under the statement lock, wait
+// after releasing it). No-op without an attached WAL.
+func (db *DB) walAppendFrame(rec *WALRecord) error {
+	if db.wal == nil {
+		return nil
+	}
+	_, err := db.wal.appendFrame(rec, true)
+	return err
+}
+
+// walWaitDurable blocks until the frame at lsn is covered by a group-commit
+// fsync; the statement must not be acknowledged before this returns nil.
+// Holding the commit barrier in read mode here keeps checkpoint rotation
+// from overlapping an in-flight leader fsync. A commit racing
+// CloseDurability resolves against the retired WAL: the close's final sync
+// either covered its frame (ack) or failed (the WAL is poisoned and the
+// commit errors) — never a silent ack without a completed sync.
+func (db *DB) walWaitDurable(lsn int64) error {
+	if lsn == 0 {
+		return nil
+	}
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	w := db.wal
+	if w == nil {
+		w = db.retiredWAL
+	}
+	if w == nil {
+		return nil
+	}
+	return w.waitDurable(lsn)
+}
+
+// WALGroupCommitStats reports completed group-commit fsyncs and the records
+// they covered; records/syncs is the live fsync-amortization factor
+// exported as flock_wal_group_commit_batch.
+func (db *DB) WALGroupCommitStats() (syncs, records int64) {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	if db.wal == nil {
+		return 0, 0
+	}
+	return db.wal.groupCommitStats()
 }

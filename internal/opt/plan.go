@@ -184,12 +184,19 @@ type Report struct {
 	TreeNodesBefore   int
 	TreeNodesAfter    int
 	CategoriesDropped int
+	// Parallelism is the morsel worker cap the executor resolved for this
+	// plan (1 below LevelParallel); filled in by the engine at execution
+	// time so EXPLAIN surfaces the effective degree.
+	Parallelism int
 }
 
 // String renders a compact summary.
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "level=%s predicts=%d pushdown=%d", r.Level, r.PredictsExtracted, r.PushedDown)
+	if r.Parallelism > 0 {
+		fmt.Fprintf(&b, " workers=%d", r.Parallelism)
+	}
 	if r.PushedUp {
 		b.WriteString(" pushup")
 	}

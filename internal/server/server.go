@@ -432,6 +432,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"flock_admission_queue_depth": float64(s.adm.queued.Load()),
 		"flock_sessions_active":       float64(s.sessions.count()),
 		"flock_plan_cache_entries":    float64(s.plans.len()),
+		// Engine operator workers running right now across every in-flight
+		// query: the live intra-query parallel degree.
+		"flock_exec_workers": float64(engine.ActiveWorkers()),
+	}
+	// Fsync amortization: committed records per group-commit fsync (0 until
+	// the first durable commit; ~1 under serial writers; >1 when concurrent
+	// writers share sync batches).
+	syncs, records := s.flock.DB.WALGroupCommitStats()
+	gauges["flock_wal_group_commit_syncs"] = float64(syncs)
+	if syncs > 0 {
+		gauges["flock_wal_group_commit_batch"] = float64(records) / float64(syncs)
+	} else {
+		gauges["flock_wal_group_commit_batch"] = 0
 	}
 	s.gaugeMu.Lock()
 	sources := append([]func() map[string]float64(nil), s.gaugeSources...)

@@ -549,6 +549,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		`flock_monitor_psi{model="churn"}`,
 		`flock_monitor_psi{model="fraud"}`,
 		`flock_monitor_drift_status{model="churn"}`,
+		"flock_exec_workers",
+		"flock_wal_group_commit_batch",
+		"flock_wal_group_commit_syncs",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
