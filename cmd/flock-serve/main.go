@@ -50,6 +50,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "per-query timeout ceiling")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session expiry")
+	cursorTTL := flag.Duration("cursor-ttl", 5*time.Minute, "idle server-side cursor expiry")
+	maxCursors := flag.Int("max-cursors", 16, "open server-side cursors per session")
 	planCache := flag.Int("plan-cache", 256, "prepared-plan LRU capacity")
 	tokens := flag.String("tokens", "", "comma-separated user:token credentials (empty = allow any user)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight queries")
@@ -113,12 +115,14 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxWorkers:     *workers,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		SessionTTL:     *sessionTTL,
-		PlanCacheSize:  *planCache,
+		MaxWorkers:           *workers,
+		MaxQueue:             *queue,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		SessionTTL:           *sessionTTL,
+		CursorTTL:            *cursorTTL,
+		MaxCursorsPerSession: *maxCursors,
+		PlanCacheSize:        *planCache,
 		// Demo role assignment: every authenticated user can do everything.
 		OnSession: func(user string) { flock.Access.AssignRole(user, "admin") },
 	}

@@ -1,0 +1,145 @@
+// Command flock-smoke drives a live flock-serve instance through the Go
+// SDK (pkg/flockclient) and exits non-zero on any failure — the CI smoke
+// for the wire protocol: session auth, materialized queries, cursor
+// pagination (small pages force many fetches), prepared statements run
+// twice, and the PREDICT helper.
+//
+//	$ flock-serve -addr 127.0.0.1:8080 -rows 20000 &
+//	$ flock-smoke -url http://127.0.0.1:8080 -rows 20000
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/pkg/flockclient"
+)
+
+func main() {
+	url := os.Getenv("FLOCK_URL")
+	rows := 20000
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-url":
+			i++
+			url = args[i]
+		case "-rows":
+			i++
+			fmt.Sscanf(args[i], "%d", &rows)
+		default:
+			log.Fatalf("flock-smoke: unknown flag %q", args[i])
+		}
+	}
+	if url == "" {
+		log.Fatal("flock-smoke: -url (or FLOCK_URL) is required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	c, err := flockclient.Dial(ctx, url, "smoke", flockclient.WithBatchRows(1000))
+	if err != nil {
+		log.Fatalf("flock-smoke: dial: %v", err)
+	}
+	defer c.Close(context.Background())
+	if err := c.Ping(ctx); err != nil {
+		log.Fatalf("flock-smoke: ping: %v", err)
+	}
+
+	// 1. Materialized count.
+	res, err := c.Exec(ctx, "SELECT count(*) AS n FROM customers")
+	if err != nil {
+		log.Fatalf("flock-smoke: count: %v", err)
+	}
+	n, ok := res.Rows[0][0].(int64)
+	if !ok || int(n) != rows {
+		log.Fatalf("flock-smoke: count = %v, want %d", res.Rows[0][0], rows)
+	}
+	fmt.Printf("count ok: %d rows\n", n)
+
+	// 2. Cursor pagination: 1000-row pages over the whole table, ids in
+	// order, exact total — the query must run exactly once server-side.
+	rs, err := c.Query(ctx, "SELECT id, income FROM customers")
+	if err != nil {
+		log.Fatalf("flock-smoke: query: %v", err)
+	}
+	seen, lastID := 0, int64(-1)
+	for rs.Next() {
+		var id int64
+		var income float64
+		if err := rs.Scan(&id, &income); err != nil {
+			log.Fatalf("flock-smoke: scan: %v", err)
+		}
+		if id <= lastID {
+			log.Fatalf("flock-smoke: ids out of order (%d after %d)", id, lastID)
+		}
+		lastID = id
+		seen++
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatalf("flock-smoke: iterate: %v", err)
+	}
+	rs.Close()
+	if seen != rows {
+		log.Fatalf("flock-smoke: paged %d rows, want %d", seen, rows)
+	}
+	fmt.Printf("pagination ok: %d rows in %d-row pages\n", seen, 1000)
+
+	// 3. Prepared statement, executed twice.
+	stmt, err := c.Prepare(ctx, "SELECT region, count(*) AS n FROM customers GROUP BY region ORDER BY region")
+	if err != nil {
+		log.Fatalf("flock-smoke: prepare: %v", err)
+	}
+	for run := 0; run < 2; run++ {
+		rs, err := stmt.Query(ctx)
+		if err != nil {
+			log.Fatalf("flock-smoke: prepared run %d: %v", run, err)
+		}
+		groups := 0
+		for rs.Next() {
+			var region string
+			var cnt int64
+			if err := rs.Scan(&region, &cnt); err != nil {
+				log.Fatalf("flock-smoke: prepared scan: %v", err)
+			}
+			groups++
+		}
+		if err := rs.Err(); err != nil {
+			log.Fatalf("flock-smoke: prepared iterate: %v", err)
+		}
+		rs.Close()
+		if groups == 0 {
+			log.Fatalf("flock-smoke: prepared run %d returned no groups", run)
+		}
+	}
+	fmt.Println("prepared ok: 2 runs")
+
+	// 4. In-DBMS inference through the PREDICT helper.
+	rs, err = c.PredictAbove(ctx, "churn",
+		"customers", []string{"age", "income", "tenure", "region", "notes"}, 0.5)
+	if err != nil {
+		log.Fatalf("flock-smoke: predict: %v", err)
+	}
+	scored := 0
+	for rs.Next() {
+		var score float64
+		if err := rs.Scan(&score); err != nil {
+			log.Fatalf("flock-smoke: predict scan: %v", err)
+		}
+		if score <= 0.5 {
+			log.Fatalf("flock-smoke: score %v escaped the threshold", score)
+		}
+		scored++
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatalf("flock-smoke: predict iterate: %v", err)
+	}
+	rs.Close()
+	fmt.Printf("predict ok: %d rows above threshold\n", scored)
+
+	fmt.Println("flock-smoke: all checks passed")
+}

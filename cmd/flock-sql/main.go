@@ -8,10 +8,19 @@
 //
 // Meta commands: \tables, \models, \audit, \prov, \explain <query>,
 // \save <path>, \quit.
+//
+// With -url the shell connects to a running flock-serve over the wire
+// protocol through the Go SDK (pkg/flockclient) instead of embedding an
+// engine: statements stream through server-side cursors, so even huge
+// results print page by page with O(page) client memory. Only \quit works
+// remotely; the other meta commands inspect in-process state.
+//
+//	$ flock-sql -url http://127.0.0.1:8080 -user alice -token s3cret
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +31,20 @@ import (
 	"repro/internal/opt"
 	"repro/internal/sql"
 	"repro/internal/workload"
+	"repro/pkg/flockclient"
 )
 
 func main() {
 	rows := flag.Int("rows", 10000, "size of the demo customers table")
+	url := flag.String("url", "", "connect to a flock-serve at this base URL instead of embedding an engine")
+	user := flag.String("user", "shell", "user for the remote session (-url mode)")
+	token := flag.String("token", "", "credential token for the remote session (-url mode)")
 	flag.Parse()
+
+	if *url != "" {
+		runRemote(*url, *user, *token)
+		return
+	}
 
 	flock, err := core.New()
 	if err != nil {
@@ -149,6 +167,109 @@ func explain(flock *core.Flock, query string) {
 		return
 	}
 	fmt.Println("optimizer:", report)
+}
+
+// runRemote is the SDK-backed shell: every statement goes over the wire,
+// SELECT results page through a server-side cursor (printed as they
+// arrive, capped at 40 rows like the local shell).
+func runRemote(url, user, token string) {
+	ctx := context.Background()
+	var opts []flockclient.Option
+	if token != "" {
+		opts = append(opts, flockclient.WithToken(token))
+	}
+	c, err := flockclient.Dial(ctx, url, user, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close(context.Background())
+	fmt.Printf("flock-sql: connected to %s as %s. \\quit to exit.\n", url, user)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("flock> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("meta commands inspect in-process state; only \\quit works over -url")
+		case strings.HasPrefix(strings.ToLower(line), "select"):
+			runRemoteSelect(ctx, c, line)
+		default:
+			res, err := c.Exec(ctx, line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if res.Affected > 0 {
+				fmt.Printf("%d rows affected\n", res.Affected)
+			} else if len(res.Rows) > 0 {
+				printRemoteRows(res.Columns, res.Rows, len(res.Rows))
+			}
+		}
+	}
+}
+
+func runRemoteSelect(ctx context.Context, c *flockclient.Client, query string) {
+	rs, err := c.Query(ctx, query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rs.Close()
+	cols := rs.Columns()
+	if len(cols) > 0 {
+		fmt.Println(strings.Join(cols, " | "))
+	}
+	const display = 40
+	printed, total := 0, 0
+	row := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range row {
+		ptrs[i] = &row[i]
+	}
+	for rs.Next() {
+		if err := rs.Scan(ptrs...); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		total++
+		if printed < display {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = fmt.Sprint(v)
+			}
+			fmt.Println(strings.Join(parts, " | "))
+			printed++
+		}
+	}
+	if err := rs.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if total > printed {
+		fmt.Printf("... (%d rows total)\n", total)
+	}
+}
+
+func printRemoteRows(cols []string, rows [][]any, limit int) {
+	if len(cols) > 0 {
+		fmt.Println(strings.Join(cols, " | "))
+	}
+	for _, row := range rows[:limit] {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
 }
 
 func fatal(err error) {

@@ -1,21 +1,20 @@
 // Quickstart: the core Flock loop — load data into the engine, train a
 // pipeline "in the cloud", deploy it as a first-class model, score it in
-// SQL with PREDICT, then serve the whole thing over HTTP with sessions,
-// governance and graceful shutdown (see docs/server.md).
+// SQL with PREDICT, then serve the whole thing over HTTP and consume it
+// through the Go SDK (pkg/flockclient): sessions, governed queries, and a
+// cursor-paged result iterator (see docs/server.md and docs/api.md).
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
-	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ml"
 	"repro/internal/server"
+	"repro/pkg/flockclient"
 )
 
 func main() {
@@ -92,14 +91,16 @@ func main() {
 	nodes, edges := flock.Catalog.Size()
 	fmt.Printf("provenance catalog: %d nodes, %d edges\n", nodes, edges)
 
-	// 6. Serve it: the same governed loop over HTTP — sessions carry the
-	//    user identity into RBAC/audit, queries get deadlines, and
-	//    shutdown drains cleanly.
+	// 6. Serve it and consume it through the SDK: the same governed loop
+	//    over HTTP — sessions carry the user identity into RBAC/audit, and
+	//    SELECTs page through server-side cursors, so client memory stays
+	//    O(page) no matter the result size.
 	serveWalkthrough(flock)
 }
 
-// serveWalkthrough starts the serving layer in-process, runs one session
-// through login -> governed PREDICT query -> logout, and shuts down.
+// serveWalkthrough starts the serving layer in-process, then drives it
+// with the public Go SDK: dial (login), a materialized count, a
+// cursor-paged iteration, and a clean shutdown.
 func serveWalkthrough(flock *core.Flock) {
 	srv := server.New(flock, server.Config{
 		MaxWorkers:   4,
@@ -116,38 +117,52 @@ func serveWalkthrough(flock *core.Flock) {
 	base := "http://" + srv.Addr()
 	fmt.Printf("\nserving on %s\n", base)
 
-	post := func(path string, body map[string]any) map[string]any {
-		buf, _ := json.Marshal(body)
-		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var out map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			log.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			log.Fatalf("%s: %d %v", path, resp.StatusCode, out)
-		}
-		return out
-	}
-
-	sess := post("/v1/sessions", map[string]any{"user": "demo", "token": "s3cret"})
-	res := post("/v1/query", map[string]any{
-		"session":    sess["session"],
-		"sql":        "SELECT count(*) FROM customers WHERE PREDICT(churn, age, income, region) > 0.5",
-		"timeout_ms": 2000,
-	})
-	fmt.Printf("high-risk count over HTTP: %v (%.2fms)\n",
-		res["rows"].([]any)[0].([]any)[0], res["elapsed_ms"])
-
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	ctx := context.Background()
+	client, err := flockclient.Dial(ctx, base, "demo",
+		flockclient.WithToken("s3cret"), flockclient.WithBatchRows(2))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("server drained and shut down cleanly")
+
+	res, err := client.Exec(ctx,
+		"SELECT count(*) FROM customers WHERE PREDICT(churn, age, income, region) > 0.5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("high-risk count over HTTP: %v\n", res.Rows[0][0])
+
+	// Cursor-paged iteration (2-row pages here, to show the paging; real
+	// clients use the 4096 default): the query runs once server-side and
+	// the iterator fetches pages on demand.
+	rows, err := client.Query(ctx,
+		"SELECT id, region, PREDICT(churn, age, income, region) AS risk FROM customers ORDER BY risk DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("risk ranking, paged through a server-side cursor:")
+	for rows.Next() {
+		var id int64
+		var region string
+		var risk float64
+		if err := rows.Scan(&id, &region, &risk); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  id=%d region=%-9s risk=%.3f\n", id, region, risk)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+
+	if err := client.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session closed, server drained and shut down cleanly")
 }
 
 func mustExec(f *core.Flock, q string) {

@@ -4,9 +4,14 @@
 // rules expressed as policies then override the model" (the Cosmos
 // scenario). Demonstrates regression models, policy caps, transactional
 // batch application with rollback, and the optimization-level ablation.
+// The scoring query runs over the wire: an allocator process connects to
+// the serving layer through the Go SDK (pkg/flockclient) and iterates a
+// prepared, cursor-paged PREDICT query — the deployment shape the paper's
+// Cosmos anecdote implies.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +20,8 @@ import (
 	"repro/internal/ml"
 	"repro/internal/opt"
 	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/pkg/flockclient"
 )
 
 func main() {
@@ -52,23 +59,54 @@ func main() {
 		Reason: "minimum viable allocation",
 	}))
 
-	// Score all jobs in-DB and apply allocations transactionally.
-	res, err := flock.Exec("sre", `SELECT id, user_cap,
+	// Serve the governed instance and score the jobs over the wire: the
+	// allocator dials in through the SDK and iterates a prepared,
+	// cursor-paged PREDICT query (4-row pages here to show the paging).
+	srv := server.New(flock, server.Config{MaxWorkers: 4,
+		OnSession: func(user string) { flock.Access.AssignRole(user, "admin") }})
+	go func() {
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for srv.Addr() == "" {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx := context.Background()
+	client, err := flockclient.Dial(ctx, "http://"+srv.Addr(), "sre",
+		flockclient.WithBatchRows(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stmt, err := client.Prepare(ctx, `SELECT id, user_cap,
 		PREDICT(tokens, input_gb, stages, avg_row_bytes, queue) AS predicted
 		FROM jobs ORDER BY id LIMIT 10`)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rows, err := stmt.Query(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	allocations := map[int64]float64{}
 	var decisions []policy.Decision
-	for _, row := range res.Rows {
+	for rows.Next() {
+		var id int64
+		var userCap, predicted float64
+		if err := rows.Scan(&id, &userCap, &predicted); err != nil {
+			log.Fatal(err)
+		}
 		decisions = append(decisions, policy.Decision{
 			Model:  "tokens",
-			Entity: fmt.Sprint(row[0]),
-			Score:  row[2].(float64),
-			Attrs:  map[string]float64{"user_cap": row[1].(float64), "id": float64(row[0].(int64))},
+			Entity: fmt.Sprint(id),
+			Score:  predicted,
+			Attrs:  map[string]float64{"user_cap": userCap, "id": float64(id)},
 		})
 	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
 	outcomes, err := flock.Policies.ApplyBatch(decisions,
 		func(o policy.Outcome) error {
 			alloc := o.Final
@@ -107,6 +145,15 @@ func main() {
 			}
 		}
 		fmt.Printf("  %-12s %8.2f ms / query\n", level, float64(time.Since(start).Microseconds())/20/1000)
+	}
+
+	if err := client.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,159 @@
+package core
+
+// Cursor-path governance pinning: Query* performs the access check, audit,
+// provenance capture and query-log append BEFORE the first batch is
+// released, denied users get no cursor at all, and non-SELECT statements
+// are rejected.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/governance"
+)
+
+func queryTestFlock(t *testing.T) *Flock {
+	t.Helper()
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access.AssignRole("root", "admin")
+	mustExecQ(t, f, `CREATE TABLE readings (id int, v float)`)
+	var b strings.Builder
+	b.WriteString(`INSERT INTO readings VALUES `)
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d.5)", i, i%50)
+	}
+	mustExecQ(t, f, b.String())
+	return f
+}
+
+func mustExecQ(t *testing.T, f *Flock, q string) {
+	t.Helper()
+	if _, err := f.Exec("root", q); err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+}
+
+func TestQueryCursorDrain(t *testing.T) {
+	f := queryTestFlock(t)
+	cur, err := f.Query(context.Background(), "root", `SELECT id, v FROM readings WHERE v > 10.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if names := cur.Schema().Names(); len(names) != 2 || names[0] != "id" {
+		t.Fatalf("schema: %v", names)
+	}
+	n := 0
+	for {
+		b, err := cur.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += b.N
+	}
+	if n != 400 { // v in {10.5 .. 49.5}: 40 of 50 values, 10 reps each
+		t.Fatalf("drained %d rows, want 400", n)
+	}
+}
+
+// TestQueryGovernanceBeforeFirstBatch pins the ordering contract: a denied
+// user gets an error (and an audit record) with no cursor, and a granted
+// user's query is audited and captured at open — before any batch is
+// pulled.
+func TestQueryGovernanceBeforeFirstBatch(t *testing.T) {
+	f := queryTestFlock(t)
+
+	if _, err := f.Query(context.Background(), "mallory", `SELECT id FROM readings`); err == nil {
+		t.Fatal("denied user got a cursor")
+	}
+	entries := f.Audit.Entries()
+	last := entries[len(entries)-1]
+	if last.User != "mallory" || last.Action != "denied" {
+		t.Fatalf("expected a denial audit record, got %+v", last)
+	}
+
+	logBefore := len(f.DB.QueryLog())
+	auditBefore := f.Audit.Len()
+	cur, err := f.Query(context.Background(), "root", `SELECT id FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No batch pulled yet: the statement must already be logged and audited.
+	if got := len(f.DB.QueryLog()); got != logBefore+1 {
+		t.Fatalf("query log grew %d entries at open, want 1", got-logBefore)
+	}
+	if got := f.Audit.Len(); got != auditBefore+1 {
+		t.Fatalf("audit grew %d entries at open, want 1", got-auditBefore)
+	}
+	cur.Close()
+}
+
+func TestQueryRejectsNonSelect(t *testing.T) {
+	f := queryTestFlock(t)
+	if _, err := f.Query(context.Background(), "root", `INSERT INTO readings VALUES (999, 1.0)`); err == nil {
+		t.Fatal("Query accepted DML")
+	}
+	if _, err := f.Query(context.Background(), "root", `SELECT 1; SELECT 2`); err == nil {
+		t.Fatal("Query accepted a multi-statement string")
+	}
+}
+
+func TestQueryPreparedCursor(t *testing.T) {
+	f := queryTestFlock(t)
+	p, err := f.PrepareAs("root", `SELECT id FROM readings WHERE v > 40.0`, f.DB.DefaultLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := f.QueryPrepared(context.Background(), "root", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		b, err := cur.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += b.N
+	}
+	cur.Close()
+	if n != 100 { // v in {40.5 .. 49.5}: 10 of 50 values, 10 reps each
+		t.Fatalf("drained %d rows, want 100", n)
+	}
+
+	// A different, unauthorized user is re-checked against the shared plan.
+	_, err = f.QueryPrepared(context.Background(), "intruder", p)
+	var perm *governance.PermissionError
+	if !errors.As(err, &perm) {
+		t.Fatalf("unauthorized user on a shared prepared plan: got %v, want a permission error", err)
+	}
+
+	// DML cannot be cursored even when prepared.
+	pd, err := f.PrepareAs("root", `INSERT INTO readings VALUES (1000, 2.0)`, f.DB.DefaultLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.QueryPrepared(context.Background(), "root", pd); err == nil {
+		t.Fatal("QueryPrepared accepted DML")
+	}
+	if open := engine.CursorsOpen(); open != 0 {
+		t.Fatalf("%d cursors leaked", open)
+	}
+}

@@ -631,8 +631,12 @@ func compilePredictUDF(x *sql.Predict, schema Schema, env *compileEnv) (evalFunc
 	for i, in := range g.Inputs {
 		kinds[i] = in.Kind
 	}
-	ctx := env.ctx
 	return func(rs *RowSet, row int) (Value, error) {
+		// env.ctx is read per call, not captured at compile time: a stream
+		// cursor re-anchors the environment on each Next's context, and the
+		// compiled closure must observe that (the cursor outlives the
+		// request whose context it was compiled under).
+		ctx := env.ctx
 		if err := ctxCheck(ctx); err != nil {
 			return Value{}, err
 		}

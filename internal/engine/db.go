@@ -417,13 +417,17 @@ func (db *DB) PlanSelect(s *sql.SelectStmt, level opt.Level) (*opt.Plan, error) 
 	return opt.PlanSelect(s, provider, db, level)
 }
 
-// ExecPlanContext executes a previously planned SELECT. Callers caching
-// plans must revalidate them against table versions and the model registry
-// generation (see core.Prepared).
+// ExecPlanContext executes a previously planned SELECT, materializing the
+// result — a thin Collect wrapper over the cursor path, so LIMIT-capped
+// streamable pipelines short-circuit the scan even for materialized
+// callers. Callers caching plans must revalidate them against table
+// versions and the model registry generation (see core.Prepared).
 func (db *DB) ExecPlanContext(ctx context.Context, plan *opt.Plan, o ExecOptions) (*RowSet, error) {
-	ex := &executor{ctx: ctx, db: db, o: o,
-		env: &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}}
-	return ex.exec(plan.Root)
+	cur, err := db.OpenPlanCursor(ctx, plan, o)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(ctx, cur)
 }
 
 // noModels is the provider used when none is configured: every lookup fails.

@@ -6,8 +6,6 @@ import (
 	"runtime"
 	"sort"
 
-	"repro/internal/ml"
-	"repro/internal/onnx"
 	"repro/internal/opt"
 	"repro/internal/sql"
 )
@@ -18,6 +16,9 @@ type ExecOptions struct {
 	Level opt.Level
 	// Parallelism caps worker count; 0 means GOMAXPROCS.
 	Parallelism int
+	// Counters, when non-nil, collects execution statistics (rows scanned);
+	// used by tests pinning LIMIT pushdown and by operational probes.
+	Counters *ExecCounters
 }
 
 // MaxWorkers resolves the option set's morsel worker cap: 1 below
@@ -118,27 +119,16 @@ func (ex *executor) exec(node opt.Node) (*RowSet, error) {
 	return nil, fmt.Errorf("engine: unknown plan node %T", node)
 }
 
+// execScan materializes a scan: the shared snapshot (scanSource, which
+// stream cursors also open) plus pushed-down filters.
 func (ex *executor) execScan(n *opt.Scan) (*RowSet, error) {
-	t, err := ex.db.Table(n.Table)
+	rs, err := ex.scanSource(n)
 	if err != nil {
 		return nil, err
 	}
-	var cols []Column
-	var schema Schema
-	var rows int
-	if n.Version >= 0 {
-		cols, schema, rows, err = t.SnapshotAt(n.Version)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		cols, schema, rows = t.snapshot()
+	if c := ex.o.Counters; c != nil {
+		c.RowsScanned.Add(int64(rs.N))
 	}
-	qualified := make(Schema, len(schema))
-	for i, m := range schema {
-		qualified[i] = ColMeta{Qual: n.Alias, Name: m.Name, Type: m.Type}
-	}
-	rs := &RowSet{Schema: qualified, Cols: cols, N: rows}
 	if len(n.Filters) == 0 {
 		return rs, nil
 	}
@@ -158,6 +148,13 @@ func (ex *executor) filterRowSet(rs *RowSet, pred sql.Expr) (*RowSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ex.filterCompiled(rs, fn)
+}
+
+// filterCompiled is filterRowSet after predicate compilation — the entry
+// point for stream cursors, whose filter ops compile once at open and run
+// the kernel per batch.
+func (ex *executor) filterCompiled(rs *RowSet, fn vecFunc) (*RowSet, error) {
 	sels, err := ex.filterMorsels(fn, rs, ex.workers(rs.N))
 	release := func() {
 		for _, s := range sels {
@@ -213,121 +210,18 @@ func (ex *executor) filterMorsels(fn vecFunc, rs *RowSet, w int) ([]*[]int32, er
 // execPredict runs the vectorized inference operator: it binds the argument
 // columns to the model graph's inputs, scores in chunks (in parallel at
 // LevelParallel and above), optionally applies a fused threshold compare,
-// and appends the score column.
+// and appends the score column. The operator body lives in predictOp
+// (cursor.go) so the streaming path shares it batch-by-batch.
 func (ex *executor) execPredict(n *opt.Predict) (*RowSet, error) {
 	in, err := ex.exec(n.Input)
 	if err != nil {
 		return nil, err
 	}
-	g := n.Graph
-	if len(n.Args) != len(g.Inputs) {
-		return nil, fmt.Errorf("engine: PREDICT(%s, ...) takes %d arguments, got %d",
-			n.Model, len(g.Inputs), len(n.Args))
-	}
-	sess, err := onnx.NewSession(g)
+	op, err := newPredictOp(ex, n, in.Schema)
 	if err != nil {
 		return nil, err
 	}
-
-	// Bind each model input to a column (materializing derived arguments).
-	batchCols := make([]onnx.Column, len(n.Args))
-	for i, a := range n.Args {
-		col, err := ex.bindColumn(in, a)
-		if err != nil {
-			return nil, fmt.Errorf("engine: PREDICT(%s) argument %d: %w", n.Model, i+1, err)
-		}
-		switch g.Inputs[i].Kind {
-		case ml.KindNumeric:
-			switch col.Type {
-			case TypeFloat:
-				batchCols[i] = onnx.Column{Nums: col.Floats}
-			case TypeInt:
-				conv := make([]float64, len(col.Ints))
-				for j, v := range col.Ints {
-					conv[j] = float64(v)
-				}
-				batchCols[i] = onnx.Column{Nums: conv}
-			default:
-				return nil, fmt.Errorf("engine: PREDICT(%s) argument %d: model wants numeric, column is %s",
-					n.Model, i+1, col.Type)
-			}
-		default: // categorical or text
-			if col.Type != TypeString {
-				return nil, fmt.Errorf("engine: PREDICT(%s) argument %d: model wants text, column is %s",
-					n.Model, i+1, col.Type)
-			}
-			batchCols[i] = onnx.Column{Strs: col.Strs}
-		}
-	}
-
-	scores := make([]float64, in.N)
-	w := ex.workers(in.N)
-	err = ex.runMorsels(in.N, w, func(wid, m, lo, hi int) error {
-		for clo := lo; clo < hi; clo += predictChunk {
-			chi := clo + predictChunk
-			if chi > hi {
-				chi = hi
-			}
-			b := onnx.Batch{N: chi - clo, Cols: make([]onnx.Column, len(batchCols))}
-			for i := range batchCols {
-				if batchCols[i].Nums != nil {
-					b.Cols[i].Nums = batchCols[i].Nums[clo:chi]
-				} else {
-					b.Cols[i].Strs = batchCols[i].Strs[clo:chi]
-				}
-			}
-			if err := sess.RunInto(&b, scores[clo:chi]); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	outSchema := append(append(Schema(nil), in.Schema...), ColMeta{Name: n.OutName, Type: TypeFloat})
-	if n.Compare == nil {
-		cols := append(append([]Column(nil), in.Cols...), FloatColumn(scores))
-		return &RowSet{Schema: outSchema, Cols: cols, N: in.N}, nil
-	}
-	// Fused threshold filter: the score column feeds the shared selection
-	// kernel directly, no per-row boxing.
-	sel, err := selectFloatCompare(scores, n.Compare.Op, n.Compare.Threshold)
-	if err != nil {
-		return nil, err
-	}
-	out := in.Gather(sel)
-	fc := FloatColumn(scores)
-	scoreCol := fc.Gather(sel)
-	out.Schema = outSchema
-	out.Cols = append(out.Cols, scoreCol)
-	return out, nil
-}
-
-// bindColumn resolves an argument expression to a column, materializing a
-// derived column when the argument is not a direct reference.
-func (ex *executor) bindColumn(rs *RowSet, a sql.Expr) (Column, error) {
-	if cr, ok := a.(*sql.ColRef); ok {
-		idx, err := rs.Schema.Resolve(cr.Table, cr.Name)
-		if err != nil {
-			return Column{}, err
-		}
-		return rs.Cols[idx], nil
-	}
-	fn, err := compileVec(a, rs.Schema, ex.env)
-	if err != nil {
-		return Column{}, err
-	}
-	typ, err := inferType(a, rs.Schema)
-	if err != nil {
-		return Column{}, err
-	}
-	v, err := fn(rs)
-	if err != nil {
-		return Column{}, err
-	}
-	return v.toColumn(typ, rs.N)
+	return op.apply(ex, in)
 }
 
 func (ex *executor) execJoin(n *opt.Join) (*RowSet, error) {
@@ -923,47 +817,18 @@ func minMaxValue(a *aggAcc, g int) Value {
 	return NullValue()
 }
 
+// execProject computes the output expressions; the operator body lives in
+// projectOp (cursor.go) so the streaming path shares it batch-by-batch.
 func (ex *executor) execProject(n *opt.Project) (*RowSet, error) {
 	in, err := ex.exec(n.Input)
 	if err != nil {
 		return nil, err
 	}
-	outSchema := make(Schema, len(n.Exprs))
-	outCols := make([]Column, len(n.Exprs))
-	for i, e := range n.Exprs {
-		if err := ex.checkCtx(); err != nil {
-			return nil, err
-		}
-		// Fast path: bare column references alias storage.
-		if cr, ok := e.(*sql.ColRef); ok {
-			idx, err := in.Schema.Resolve(cr.Table, cr.Name)
-			if err != nil {
-				return nil, err
-			}
-			outSchema[i] = ColMeta{Name: n.Names[i], Type: in.Schema[idx].Type}
-			outCols[i] = in.Cols[idx]
-			continue
-		}
-		fn, err := compileVec(e, in.Schema, ex.env)
-		if err != nil {
-			return nil, err
-		}
-		t, err := inferType(e, in.Schema)
-		if err != nil {
-			return nil, err
-		}
-		v, err := fn(in)
-		if err != nil {
-			return nil, err
-		}
-		col, err := v.toColumn(t, in.N)
-		if err != nil {
-			return nil, err
-		}
-		outSchema[i] = ColMeta{Name: n.Names[i], Type: t}
-		outCols[i] = col
+	op, err := newProjectOp(ex, n, in.Schema)
+	if err != nil {
+		return nil, err
 	}
-	return &RowSet{Schema: outSchema, Cols: outCols, N: in.N}, nil
+	return op.apply(ex, in)
 }
 
 func (ex *executor) execDistinct(n *opt.Distinct) (*RowSet, error) {

@@ -1,0 +1,553 @@
+package server
+
+// Server-side cursor protocol. A paginating client opens a cursor once
+// (POST /v1/query with "cursor": true), then pulls pages with
+// POST /v1/cursor/fetch and releases it with POST /v1/cursor/close — the
+// query is planned, governed, and (for blocking plans) executed exactly
+// once, no matter how many pages are fetched. Cursors are session-scoped
+// (only the opening session can fetch), TTL-bound (abandoned cursors are
+// swept, and fetches against an expired or completed cursor get a distinct
+// 410 so clients can tell "re-run the query" from "bad request"), and
+// engine work per fetch goes through the same admission gate as queries.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// cursorState classifies a cursor-id lookup.
+type cursorState int
+
+const (
+	cursorLive cursorState = iota
+	// cursorGone: the id did exist but the cursor expired, completed, or
+	// was closed — a 410, distinct from never-existed (404).
+	cursorGone
+	cursorUnknown
+)
+
+// serverCursor is one open server-side cursor: a live engine cursor plus
+// the session scope and per-fetch bookkeeping.
+type serverCursor struct {
+	id   string
+	sess *session
+	cur  engine.Cursor
+	cols []string
+
+	// ctx descends from the owning session, so session close and server
+	// shutdown abort an in-flight fetch and poison later ones; each fetch
+	// derives its own deadline-bound child.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// mu serializes fetches on one cursor (engine cursors are not safe for
+	// concurrent Next). The sweeper only reaps cursors it can TryLock, so
+	// it never blocks behind a long fetch.
+	mu       sync.Mutex
+	lastUsed atomic.Int64 // unix nanos
+	finished atomic.Bool
+
+	// pending holds the unconsumed tail of the last engine batch: fetches
+	// honor max_rows exactly (pages are the client's memory bound), so a
+	// batch larger than the remaining page budget parks here until the
+	// next fetch. Guarded by mu.
+	pending *engine.Batch
+	pendOff int
+}
+
+func (c *serverCursor) touch() { c.lastUsed.Store(time.Now().UnixNano()) }
+
+// cursorStore holds open server-side cursors, bounds them per session,
+// expires idle ones, and remembers recently dead ids so expired fetches
+// return 410 instead of 404.
+type cursorStore struct {
+	mu sync.Mutex
+	m  map[string]*serverCursor
+	// tomb maps recently dead cursor ids to the session that owned them:
+	// only the owner gets the 410 (anyone else sees the same 404 as a
+	// never-existed id, so ids don't leak liveness across sessions).
+	tomb map[string]string
+	// tombOrder bounds the tombstone set FIFO (dead ids are a courtesy for
+	// clients, not a ledger).
+	tombOrder []string
+
+	ttl        time.Duration
+	perSession int
+	expired    *atomic.Uint64 // metrics: cursors reaped by the TTL sweep
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+const cursorTombstones = 1024
+
+func newCursorStore(ttl time.Duration, perSession int, expired *atomic.Uint64) *cursorStore {
+	cs := &cursorStore{
+		m: map[string]*serverCursor{}, tomb: map[string]string{},
+		ttl: ttl, perSession: perSession, expired: expired,
+		stop: make(chan struct{}),
+	}
+	go cs.sweep()
+	return cs
+}
+
+// put registers a freshly opened engine cursor under a new id, counting it
+// against the owning session (which also shields the session from TTL
+// reaping while the cursor lives).
+func (cs *cursorStore) put(sess *session, cur engine.Cursor, cols []string) (*serverCursor, error) {
+	// Atomically reserve the session slot (increment first, check after):
+	// concurrent opens cannot slip past the per-session cap together.
+	if n := sess.cursors.Add(1); n > int64(cs.perSession) {
+		sess.cursors.Add(-1)
+		return nil, fmt.Errorf("server: session holds %d open cursors (limit %d); close some first", n-1, cs.perSession)
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		sess.cursors.Add(-1)
+		return nil, fmt.Errorf("server: cursor id: %w", err)
+	}
+	ctx, cancel := context.WithCancel(sess.ctx)
+	c := &serverCursor{
+		id: hex.EncodeToString(buf[:]), sess: sess, cur: cur, cols: cols,
+		ctx: ctx, cancel: cancel,
+	}
+	c.touch()
+	cs.mu.Lock()
+	cs.m[c.id] = c
+	cs.mu.Unlock()
+	return c, nil
+}
+
+// get resolves a cursor id for one session, distinguishing live,
+// recently-dead (410, owner only), and never-seen (404). Dead cursors of
+// other sessions report unknown — same as never-existed.
+func (cs *cursorStore) get(id, sessID string) (*serverCursor, cursorState) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if c, ok := cs.m[id]; ok {
+		return c, cursorLive
+	}
+	if owner, ok := cs.tomb[id]; ok && owner == sessID {
+		return nil, cursorGone
+	}
+	return nil, cursorUnknown
+}
+
+// finish closes a cursor exactly once: removes it from the store, leaves a
+// tombstone, cancels its context, closes the engine cursor, and releases
+// the session's hold. Idempotent (reports whether this call did the
+// close). The caller must NOT hold c.mu: finish cancels first (unwedging
+// any in-flight fetch at its next cancellation checkpoint), then takes
+// c.mu before closing the engine cursor — Close never runs under a live
+// Next. Callers already holding c.mu use finishLocked.
+func (cs *cursorStore) finish(c *serverCursor) bool {
+	if !c.finished.CompareAndSwap(false, true) {
+		return false
+	}
+	cs.retire(c)
+	c.cancel()
+	c.mu.Lock()
+	_ = c.cur.Close()
+	c.mu.Unlock()
+	c.sess.cursors.Add(-1)
+	return true
+}
+
+// finishLocked is finish for callers that already hold c.mu (the fetch
+// handler's done/error paths and the sweeper's TryLock'd reap).
+func (cs *cursorStore) finishLocked(c *serverCursor) bool {
+	if !c.finished.CompareAndSwap(false, true) {
+		return false
+	}
+	cs.retire(c)
+	c.cancel()
+	_ = c.cur.Close()
+	c.sess.cursors.Add(-1)
+	return true
+}
+
+// retire removes a cursor from the live map and tombstones its id.
+func (cs *cursorStore) retire(c *serverCursor) {
+	cs.mu.Lock()
+	delete(cs.m, c.id)
+	cs.tomb[c.id] = c.sess.id
+	cs.tombOrder = append(cs.tombOrder, c.id)
+	for len(cs.tombOrder) > cursorTombstones {
+		delete(cs.tomb, cs.tombOrder[0])
+		cs.tombOrder = cs.tombOrder[1:]
+	}
+	cs.mu.Unlock()
+}
+
+// closeForSession releases every cursor a closing session still holds.
+func (cs *cursorStore) closeForSession(sessID string) {
+	cs.mu.Lock()
+	var own []*serverCursor
+	for _, c := range cs.m {
+		if c.sess.id == sessID {
+			own = append(own, c)
+		}
+	}
+	cs.mu.Unlock()
+	for _, c := range own {
+		cs.finish(c)
+	}
+}
+
+// closeAll releases every cursor (server shutdown).
+func (cs *cursorStore) closeAll() {
+	cs.mu.Lock()
+	all := make([]*serverCursor, 0, len(cs.m))
+	for _, c := range cs.m {
+		all = append(all, c)
+	}
+	cs.mu.Unlock()
+	for _, c := range all {
+		cs.finish(c)
+	}
+}
+
+func (cs *cursorStore) count() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.m)
+}
+
+func (cs *cursorStore) stopSweeper() { cs.stopOnce.Do(func() { close(cs.stop) }) }
+
+// sweep expires cursors idle past the cursor TTL. A cursor mid-fetch holds
+// its mutex, so TryLock both skips busy cursors and guarantees the engine
+// cursor is never closed under a running Next.
+func (cs *cursorStore) sweep() {
+	interval := cs.ttl / 4
+	if interval < 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cs.stop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-cs.ttl).UnixNano()
+			cs.mu.Lock()
+			var idle []*serverCursor
+			for _, c := range cs.m {
+				if c.lastUsed.Load() < cutoff {
+					idle = append(idle, c)
+				}
+			}
+			cs.mu.Unlock()
+			for _, c := range idle {
+				if !c.mu.TryLock() {
+					continue // a fetch is running; it touched lastUsed anyway
+				}
+				reaped := cs.finishLocked(c)
+				c.mu.Unlock()
+				// Count only real reaps: a client close racing the sweep
+				// makes finish a no-op.
+				if reaped && cs.expired != nil {
+					cs.expired.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// ---- handlers ----
+
+type fetchRequest struct {
+	Session   string `json:"session"`
+	Cursor    string `json:"cursor"`
+	MaxRows   int    `json:"max_rows"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+type cursorCloseRequest struct {
+	Session string `json:"session"`
+	Cursor  string `json:"cursor"`
+}
+
+// defaultFetchRows is the page size when a fetch names none — one engine
+// batch on the serial path.
+const defaultFetchRows = 4096
+
+// maxFetchRows caps one page so a single fetch cannot be asked to
+// materialize an unbounded result.
+const maxFetchRows = 1 << 20
+
+// errCursorExpired is the 410 body for fetches against dead cursors.
+var errCursorExpired = errors.New("cursor expired or closed; re-run the query")
+
+// resolveCursor maps a (session, cursor) pair to a live cursor or an HTTP
+// error. Cursors are session-scoped: another session's id — live or dead —
+// is a 404, not a hint the id exists.
+func (s *Server) resolveCursor(sessID, curID string) (*session, *serverCursor, int, error) {
+	sess, ok := s.sessions.get(sessID)
+	if !ok {
+		return nil, nil, http.StatusUnauthorized, errors.New("unknown or expired session")
+	}
+	c, state := s.cursors.get(curID, sess.id)
+	switch {
+	case state == cursorGone:
+		return nil, nil, http.StatusGone, errCursorExpired
+	case state == cursorUnknown, c.sess.id != sess.id:
+		return nil, nil, http.StatusNotFound, errors.New("unknown cursor")
+	}
+	return sess, c, 0, nil
+}
+
+// handleCursorFetch pulls the next page from a server-side cursor. Engine
+// work happens under a worker slot from the shared admission gate, but the
+// slot is held only for this page — paginating clients never pin the pool
+// between fetches.
+func (s *Server) handleCursorFetch(w http.ResponseWriter, r *http.Request) {
+	var req fetchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad fetch request: %w", err))
+		return
+	}
+	sess, c, status, err := s.resolveCursor(req.Session, req.Cursor)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	maxRows := req.MaxRows
+	if maxRows <= 0 {
+		maxRows = defaultFetchRows
+	}
+	if maxRows > maxFetchRows {
+		maxRows = maxFetchRows
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// The fetch context descends from the cursor (whose context descends
+	// from the session), dies with the client connection, and carries this
+	// page's deadline.
+	fctx, cancel := context.WithTimeout(c.ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+	sess.begin()
+	defer sess.end()
+	start := time.Now()
+
+	// Serialize on the cursor BEFORE taking a worker slot: fetches queued
+	// behind a slow page on one cursor must not pin pool slots other
+	// sessions need. The wait is bounded — a close/expiry cancels c.ctx
+	// (and through it fctx), and a client disconnect cancels fctx.
+	if !c.mu.TryLock() {
+		lockErr := func() error {
+			done := make(chan struct{})
+			go func() { c.mu.Lock(); close(done) }()
+			select {
+			case <-done:
+				return nil
+			case <-fctx.Done():
+				// The lock grab is still in flight; hand its eventual
+				// acquisition to a releaser so the mutex is not leaked.
+				go func() { <-done; c.mu.Unlock() }()
+				return fctx.Err()
+			}
+		}()
+		if lockErr != nil {
+			status, label := classifyErr(lockErr)
+			s.met.observeQuery("fetch", label, time.Since(start))
+			writeError(w, status, lockErr)
+			return
+		}
+	}
+	defer c.mu.Unlock()
+	if c.finished.Load() {
+		// Lost a race with close/expiry while waiting for the lock.
+		writeError(w, http.StatusGone, errCursorExpired)
+		return
+	}
+	c.touch()
+
+	// Worker slot for this page's engine work only.
+	if err := s.adm.acquire(fctx); err != nil {
+		status, label := classifyErr(err)
+		s.met.observeQuery("fetch", label, time.Since(start))
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	defer s.adm.release()
+
+	capHint := maxRows
+	if capHint > defaultFetchRows {
+		capHint = defaultFetchRows
+	}
+	rows := make([][]any, 0, capHint)
+	done := false
+	for len(rows) < maxRows {
+		// Drain the parked tail of the previous batch before pulling more.
+		if c.pending != nil {
+			take := maxRows - len(rows)
+			if avail := c.pending.N - c.pendOff; take >= avail {
+				rows = append(rows, engine.ResultFromRowSet(c.pending.Slice(c.pendOff, c.pending.N)).Rows...)
+				c.pending, c.pendOff = nil, 0
+				continue
+			}
+			rows = append(rows, engine.ResultFromRowSet(c.pending.Slice(c.pendOff, c.pendOff+take)).Rows...)
+			c.pendOff += take
+			break
+		}
+		b, err := c.cur.Next(fctx)
+		if err == io.EOF {
+			done = true
+			break
+		}
+		if err != nil {
+			status, label := classifyErr(err)
+			if status == http.StatusGatewayTimeout || status == 499 {
+				// Deadline/disconnect: the engine rolled back the failing
+				// window and the cursor stays open. Rows already pulled
+				// this fetch are PAST the rollback point, so deliver them
+				// as a short page rather than dropping them — a retry then
+				// resumes exactly after what the client received.
+				if len(rows) > 0 {
+					break
+				}
+				s.met.observeQuery("fetch", label, time.Since(start))
+				writeError(w, status, err)
+				return
+			}
+			// Execution errors are sticky in the engine cursor: release it.
+			s.cursors.finishLocked(c)
+			s.met.observeQuery("fetch", label, time.Since(start))
+			writeError(w, status, err)
+			return
+		}
+		c.pending, c.pendOff = b, 0
+	}
+	if done {
+		s.cursors.finishLocked(c)
+	}
+	c.touch()
+	s.met.observeQuery("fetch", "ok", time.Since(start))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": c.cols,
+		"rows":    rows,
+		"done":    done,
+	})
+}
+
+// handleCursorClose releases a cursor early. Closing an already-dead
+// cursor is a no-op 204 (close is how clients clean up; it must not race
+// the sweeper into an error).
+func (s *Server) handleCursorClose(w http.ResponseWriter, r *http.Request) {
+	var req cursorCloseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad cursor close request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	c, state := s.cursors.get(req.Cursor, sess.id)
+	switch state {
+	case cursorGone:
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case cursorUnknown:
+		writeError(w, http.StatusNotFound, errors.New("unknown cursor"))
+		return
+	}
+	if c.sess.id != sess.id {
+		writeError(w, http.StatusNotFound, errors.New("unknown cursor"))
+		return
+	}
+	s.cursors.finish(c)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// openServerCursor runs the open half of the cursor protocol: admission,
+// governance-gated open (planning plus any blocking materialization happen
+// here, deadline-bound), and registration in the store. open must return a
+// governed cursor (core.Flock.Query*).
+func (s *Server) openServerCursor(w http.ResponseWriter, r *http.Request, sess *session,
+	timeoutMS int64, open func(ctx context.Context) (engine.Cursor, error)) {
+
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	qctx, cancel := context.WithTimeout(sess.ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+	sess.begin()
+	defer sess.end()
+
+	start := time.Now()
+	if err := s.adm.acquire(qctx); err != nil {
+		status, label := classifyErr(err)
+		s.met.observeQuery("select", label, time.Since(start))
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			s.adm.release()
+		}
+	}
+	defer release()
+
+	cur, err := open(qctx)
+	release() // open work (planning, blocking materialization) is done
+	elapsed := time.Since(start)
+	if err != nil {
+		status, label := classifyErr(err)
+		s.met.observeQuery("select", label, elapsed)
+		writeError(w, status, err)
+		return
+	}
+	cols := cur.Schema().Names()
+	if cols == nil {
+		cols = []string{}
+	}
+	c, err := s.cursors.put(sess, cur, cols)
+	if err != nil {
+		_ = cur.Close()
+		s.met.observeQuery("select", "rejected", elapsed)
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	s.met.observeQuery("select", "ok", elapsed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cursor":  c.id,
+		"columns": cols,
+		"ttl_s":   s.cfg.CursorTTL.Seconds(),
+	})
+}

@@ -11,11 +11,19 @@
 //
 //	POST   /v1/sessions        {user, token}            -> {session, user}
 //	DELETE /v1/sessions/{id}                            -> 204
-//	POST   /v1/query           {session, sql, timeout_ms, level, stream}
+//	POST   /v1/query           {session, sql, timeout_ms, level, stream, cursor, batch_rows}
 //	POST   /v1/prepare         {session, sql, level}    -> {stmt, kind, cached}
-//	POST   /v1/exec            {session, stmt, timeout_ms, stream}
+//	POST   /v1/exec            {session, stmt, timeout_ms, stream, cursor}
+//	POST   /v1/cursor/fetch    {session, cursor, max_rows, timeout_ms} -> {columns, rows, done}
+//	POST   /v1/cursor/close    {session, cursor}        -> 204
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            {"status":"ok"}
+//
+// Results flow pull-based end-to-end: "stream": true drains an engine
+// cursor as NDJSON with O(batch) server memory, and "cursor": true opens a
+// server-side cursor (TTL-bound, session-scoped) that /v1/cursor/fetch
+// pages through without ever re-running the query. See docs/api.md for the
+// full wire protocol.
 package server
 
 import (
@@ -25,11 +33,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +47,7 @@ import (
 	"repro/internal/governance"
 	"repro/internal/monitor"
 	"repro/internal/opt"
+	sqlpkg "repro/internal/sql"
 )
 
 // Config tunes the serving layer. The zero value gets sane defaults from
@@ -53,8 +64,20 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-requested timeouts; defaults to 5m.
 	MaxTimeout time.Duration
-	// SessionTTL expires idle sessions; defaults to 30m.
+	// SessionTTL expires idle sessions; defaults to 30m. Sessions holding
+	// open server-side cursors are not reaped (CursorTTL expires those
+	// first).
 	SessionTTL time.Duration
+	// CursorTTL expires idle server-side cursors; defaults to 5m.
+	CursorTTL time.Duration
+	// MaxCursorsPerSession bounds open server-side cursors per session;
+	// defaults to 16.
+	MaxCursorsPerSession int
+	// MaxStreamDrains bounds concurrent NDJSON stream drains. A drain
+	// holds a drain slot — not a worker slot — for its (client-paced)
+	// lifetime, so slow readers can exhaust only the drain budget, never
+	// the query worker pool. Defaults to 2x MaxWorkers.
+	MaxStreamDrains int
 	// PlanCacheSize bounds the prepared-plan LRU; defaults to 256 entries.
 	PlanCacheSize int
 	// Level is the optimization level for queries that don't specify one.
@@ -87,6 +110,15 @@ func (c Config) normalize() Config {
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 30 * time.Minute
 	}
+	if c.CursorTTL <= 0 {
+		c.CursorTTL = 5 * time.Minute
+	}
+	if c.MaxCursorsPerSession <= 0 {
+		c.MaxCursorsPerSession = 16
+	}
+	if c.MaxStreamDrains <= 0 {
+		c.MaxStreamDrains = 2 * c.MaxWorkers
+	}
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 256
 	}
@@ -110,6 +142,11 @@ type Server struct {
 	adm      *admission
 	met      *metrics
 	plans    *planCache
+	cursors  *cursorStore
+
+	// streamDrains counts (and bounds) in-flight NDJSON drains; see
+	// Config.MaxStreamDrains.
+	streamDrains atomic.Int64
 
 	monMu    sync.Mutex
 	monitors []*monitor.ScoreMonitor
@@ -134,12 +171,15 @@ func New(flock *core.Flock, cfg Config) *Server {
 	s.sessions = newSessionStore(base, cfg.SessionTTL)
 	s.adm = newAdmission(cfg.MaxWorkers, cfg.MaxQueue, s.met)
 	s.plans = newPlanCache(cfg.PlanCacheSize, s.met)
+	s.cursors = newCursorStore(cfg.CursorTTL, cfg.MaxCursorsPerSession, &s.met.cursorsExpired)
 
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("POST /v1/cursor/fetch", s.handleCursorFetch)
+	s.mux.HandleFunc("POST /v1/cursor/close", s.handleCursorClose)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -210,6 +250,7 @@ func (s *Server) Addr() string {
 // query aborts at its next batch boundary (engine-wide cancellation).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.sessions.stopSweeper()
+	s.cursors.stopSweeper()
 	err := s.httpSrv.Shutdown(ctx)
 	if err != nil {
 		// Drain window expired: cancel every session (and through them
@@ -218,6 +259,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		_ = s.httpSrv.Close()
 	}
 	s.cancelBase()
+	s.cursors.closeAll()
 	s.sessions.closeAll()
 	return err
 }
@@ -235,6 +277,9 @@ type queryRequest struct {
 	TimeoutMS int64  `json:"timeout_ms"`
 	Level     string `json:"level"`
 	Stream    bool   `json:"stream"`
+	// Cursor opens a server-side cursor instead of returning rows: the
+	// response carries a cursor id for /v1/cursor/fetch. SELECT only.
+	Cursor bool `json:"cursor"`
 }
 
 type prepareRequest struct {
@@ -248,6 +293,8 @@ type execRequest struct {
 	Stmt      string `json:"stmt"`
 	TimeoutMS int64  `json:"timeout_ms"`
 	Stream    bool   `json:"stream"`
+	// Cursor opens a server-side cursor over a prepared SELECT.
+	Cursor bool `json:"cursor"`
 }
 
 // queryResponse always carries columns and rows (as [] rather than null or
@@ -306,6 +353,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Release the session's server-side cursors first, so their engine
+	// cursors close deterministically rather than waiting for the TTL.
+	s.cursors.closeForSession(id)
 	if !s.sessions.close(id) {
 		writeError(w, http.StatusNotFound, errors.New("unknown session"))
 		return
@@ -329,10 +379,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Cursor {
+		s.openServerCursor(w, r, sess, req.TimeoutMS, func(ctx context.Context) (engine.Cursor, error) {
+			return s.flock.QueryLevel(ctx, sess.user, req.SQL, level)
+		})
+		return
+	}
+	if req.Stream && isSingleSelect(req.SQL) {
+		// Pull-based drain: the cursor feeds NDJSON batch by batch, so the
+		// server holds O(batch) memory no matter the result size.
+		s.streamCursor(w, r, sess, req.TimeoutMS, func(ctx context.Context) (engine.Cursor, error) {
+			return s.flock.QueryLevel(ctx, sess.user, req.SQL, level)
+		})
+		return
+	}
 	s.run(w, r, sess, req.TimeoutMS, kindOfSQL(req.SQL), req.Stream,
 		func(ctx context.Context) (*engine.Result, error) {
 			return s.flock.ExecLevelContext(ctx, sess.user, req.SQL, level)
 		})
+}
+
+// isSingleSelect reports whether sql parses as exactly one SELECT — the
+// shapes the cursor/stream paths accept; everything else (DML,
+// multi-statement strings) takes the materialized path.
+func isSingleSelect(query string) bool {
+	stmt, err := sqlpkg.ParseOne(query)
+	if err != nil {
+		return false
+	}
+	_, ok := stmt.(*sqlpkg.SelectStmt)
+	return ok
 }
 
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -420,6 +496,22 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if kind != "select" {
 		kind = "dml"
 	}
+	if req.Cursor {
+		if kind != "select" {
+			writeError(w, http.StatusBadRequest, errors.New("cursor requires a prepared SELECT"))
+			return
+		}
+		s.openServerCursor(w, r, sess, req.TimeoutMS, func(ctx context.Context) (engine.Cursor, error) {
+			return s.flock.QueryPrepared(ctx, sess.user, p)
+		})
+		return
+	}
+	if req.Stream && kind == "select" {
+		s.streamCursor(w, r, sess, req.TimeoutMS, func(ctx context.Context) (engine.Cursor, error) {
+			return s.flock.QueryPrepared(ctx, sess.user, p)
+		})
+		return
+	}
 	s.run(w, r, sess, req.TimeoutMS, kind, req.Stream,
 		func(ctx context.Context) (*engine.Result, error) {
 			return s.flock.ExecPrepared(ctx, sess.user, p)
@@ -435,6 +527,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Engine operator workers running right now across every in-flight
 		// query: the live intra-query parallel degree.
 		"flock_exec_workers": float64(engine.ActiveWorkers()),
+		// Server-side cursors currently open, engine cursors open across
+		// the whole process (drains included; the two diverging for long
+		// means a leak), and in-flight NDJSON stream drains.
+		"flock_cursors_open":         float64(s.cursors.count()),
+		"flock_engine_cursors_open":  float64(engine.CursorsOpen()),
+		"flock_stream_drains_active": float64(s.streamDrains.Load()),
 	}
 	// Fsync amortization: committed records per group-commit fsync (0 until
 	// the first durable commit; ~1 under serial writers; >1 when concurrent
@@ -548,9 +646,147 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, sess *session,
 	})
 }
 
-// streamResult encodes a result as NDJSON: a header object, one JSON array
-// per row (flushed in chunks so large results reach the client
-// incrementally), and a trailer object.
+// streamCursor drains a governed cursor as NDJSON: a header object, one
+// JSON array per row, and a trailer object. Admission: the open (planning
+// plus any blocking materialization) runs under a worker slot; the drain
+// itself — whose pace the client controls — downgrades to a bounded drain
+// slot so slow readers can never pin the query worker pool. A mid-stream
+// encode/write error aborts the drain and releases the cursor (recorded in
+// flock_stream_aborts_total) instead of silently truncating; a mid-stream
+// execution error is reported in the trailer (the 200 header is long
+// gone).
+func (s *Server) streamCursor(w http.ResponseWriter, r *http.Request, sess *session,
+	timeoutMS int64, open func(ctx context.Context) (engine.Cursor, error)) {
+
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// The drain context has NO deadline of its own — a stream's total
+	// duration is paced by the client, exactly like the pre-cursor path
+	// where only execution was deadline-bound. It still dies with the
+	// session, the server, and the client connection. The query timeout
+	// bounds execution instead: the open below, and each engine pull in
+	// the drain loop.
+	qctx, cancel := context.WithCancel(sess.ctx)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+	sess.begin()
+	defer sess.end()
+
+	start := time.Now()
+	octx, ocancel := context.WithTimeout(qctx, timeout)
+	defer ocancel()
+	if err := s.adm.acquire(octx); err != nil {
+		status, label := classifyErr(err)
+		s.met.observeQuery("select", label, time.Since(start))
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			s.adm.release()
+		}
+	}
+	defer release()
+
+	cur, err := open(octx)
+	if err != nil {
+		release()
+		status, label := classifyErr(err)
+		s.met.observeQuery("select", label, time.Since(start))
+		writeError(w, status, err)
+		return
+	}
+	defer cur.Close()
+
+	// Downgrade worker slot -> drain slot before the client-paced part.
+	if s.streamDrains.Add(1) > int64(s.cfg.MaxStreamDrains) {
+		s.streamDrains.Add(-1)
+		release()
+		s.met.observeQuery("select", "rejected", time.Since(start))
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("server: too many concurrent stream drains, try again later"))
+		return
+	}
+	defer s.streamDrains.Add(-1)
+	release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cols := cur.Schema().Names()
+	if cols == nil {
+		cols = []string{} // same always-arrays contract as the non-stream path
+	}
+	abort := func() {
+		s.met.streamAborts.Add(1)
+		s.met.observeQuery("select", "abort", time.Since(start))
+	}
+	if err := enc.Encode(map[string]any{"columns": cols}); err != nil {
+		abort()
+		return
+	}
+	n := 0
+	for {
+		// Per-pull deadline: bounds one window of engine work, not the
+		// client-paced transfer.
+		nctx, ncancel := context.WithTimeout(qctx, timeout)
+		b, err := cur.Next(nctx)
+		ncancel()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Execution died mid-stream: the trailer is the only channel
+			// left to tell the client the stream is incomplete.
+			_, label := classifyErr(err)
+			s.met.observeQuery("select", label, time.Since(start))
+			_ = enc.Encode(map[string]any{"error": err.Error(), "rows": n})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		for _, row := range engine.ResultFromRowSet(b).Rows {
+			if err := enc.Encode(row); err != nil {
+				abort()
+				return
+			}
+			n++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(map[string]any{
+		"rows": n, "affected": int64(0),
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	}); err != nil {
+		abort()
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.met.observeQuery("select", "ok", time.Since(start))
+}
+
+// streamResult encodes an already-materialized result as NDJSON — the
+// legacy stream shape kept for DML and multi-statement strings (SELECTs
+// stream through streamCursor). Encode/write errors abort the stream and
+// count in flock_stream_aborts_total instead of being dropped.
 func (s *Server) streamResult(w http.ResponseWriter, res *engine.Result, elapsed time.Duration) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -560,17 +796,26 @@ func (s *Server) streamResult(w http.ResponseWriter, res *engine.Result, elapsed
 	if cols == nil {
 		cols = []string{} // same always-arrays contract as the non-stream path
 	}
-	_ = enc.Encode(map[string]any{"columns": cols})
+	if err := enc.Encode(map[string]any{"columns": cols}); err != nil {
+		s.met.streamAborts.Add(1)
+		return
+	}
 	for i, row := range res.Rows {
-		_ = enc.Encode(row)
+		if err := enc.Encode(row); err != nil {
+			s.met.streamAborts.Add(1)
+			return
+		}
 		if flusher != nil && i%256 == 255 {
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(map[string]any{
+	if err := enc.Encode(map[string]any{
 		"rows": len(res.Rows), "affected": res.Affected,
 		"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
-	})
+	}); err != nil {
+		s.met.streamAborts.Add(1)
+		return
+	}
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -19,8 +19,13 @@ type session struct {
 	created  time.Time
 	lastUsed atomic.Int64 // unix nanos
 	inflight atomic.Int64 // queries currently executing on this session
-	ctx      context.Context
-	cancel   context.CancelFunc
+	// cursors counts open server-side cursors owned by this session. A
+	// session holding cursors is never TTL-reaped: the cursor store's own
+	// (shorter) TTL expires abandoned cursors first, which re-arms the
+	// session for expiry.
+	cursors atomic.Int64
+	ctx     context.Context
+	cancel  context.CancelFunc
 }
 
 func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
@@ -127,7 +132,7 @@ func (st *sessionStore) sweep() {
 			st.mu.Lock()
 			var expired []*session
 			for id, s := range st.m {
-				if s.inflight.Load() == 0 && s.lastUsed.Load() < cutoff {
+				if s.inflight.Load() == 0 && s.cursors.Load() == 0 && s.lastUsed.Load() < cutoff {
 					expired = append(expired, s)
 					delete(st.m, id)
 				}

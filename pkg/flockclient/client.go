@@ -1,0 +1,379 @@
+// Package flockclient is the public Go SDK for the Flock serving layer
+// (wire protocol v1, see docs/api.md): authenticated sessions, queries
+// returning a database/sql-shaped Rows iterator that pages through a
+// server-side cursor (the query runs once, pages are fetched on demand,
+// and client memory stays O(page)), prepared statements, and PREDICT
+// helpers for in-DBMS inference.
+//
+//	c, err := flockclient.Dial(ctx, "http://127.0.0.1:8080", "alice",
+//	    flockclient.WithToken("s3cret"))
+//	defer c.Close(context.Background())
+//
+//	rows, err := c.Query(ctx, "SELECT id, income FROM customers WHERE income > 50000.0")
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var id int64
+//	    var income float64
+//	    if err := rows.Scan(&id, &income); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+package flockclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// APIError is a non-2xx response from the server, carrying the HTTP status
+// and the server's error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("flockclient: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsCursorExpired reports whether err is the server's distinct "cursor
+// expired or closed" condition (HTTP 410): the cursor's TTL lapsed or it
+// was closed, and the query must be re-run to resume.
+func IsCursorExpired(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusGone
+}
+
+// Client is a connected session against one Flock server. It is safe for
+// concurrent use; each Rows iterator, however, must be driven from one
+// goroutine at a time.
+type Client struct {
+	base      string
+	hc        *http.Client
+	user      string
+	token     string
+	session   string
+	batchRows int
+	level     string
+}
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithToken authenticates the session with a credential token.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default has no overall timeout — streams
+// and fetches carry per-request contexts instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithBatchRows sets the page size Rows fetches per round trip (default
+// 4096). Smaller pages bound client memory tighter; larger pages cut round
+// trips.
+func WithBatchRows(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.batchRows = n
+		}
+	}
+}
+
+// WithLevel pins an optimization level ("udf", "vectorized", "parallel",
+// "full") on every query; the default lets the server choose.
+func WithLevel(level string) Option {
+	return func(c *Client) { c.level = level }
+}
+
+// Dial opens an authenticated session. Close releases it server-side.
+func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, error) {
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        &http.Client{},
+		user:      user,
+		batchRows: 4096,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := c.post(ctx, "/v1/sessions", map[string]any{"user": user, "token": c.token}, &out); err != nil {
+		return nil, err
+	}
+	if out.Session == "" {
+		return nil, errors.New("flockclient: server returned no session id")
+	}
+	c.session = out.Session
+	return c, nil
+}
+
+// Close deletes the server-side session (which also releases any cursors
+// it still holds).
+func (c *Client) Close(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/sessions/"+c.session, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return readAPIError(resp)
+	}
+	return nil
+}
+
+// Ping checks the server's health endpoint.
+func (c *Client) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readAPIError(resp)
+	}
+	return nil
+}
+
+// Session exposes the raw session id (for debugging and tests).
+func (c *Client) Session() string { return c.session }
+
+// Result is the outcome of a non-cursor statement.
+type Result struct {
+	Columns  []string
+	Rows     [][]any
+	Affected int64
+}
+
+// Exec runs a statement (DML, DDL, or a small SELECT) and returns the
+// materialized result. For large SELECTs use Query, which pages.
+func (c *Client) Exec(ctx context.Context, sql string) (*Result, error) {
+	body := map[string]any{"session": c.session, "sql": sql}
+	if c.level != "" {
+		body["level"] = c.level
+	}
+	var out struct {
+		Columns  []string            `json:"columns"`
+		Rows     [][]json.RawMessage `json:"rows"`
+		Affected int64               `json:"affected"`
+	}
+	if err := c.post(ctx, "/v1/query", body, &out); err != nil {
+		return nil, err
+	}
+	rows, err := decodeRows(out.Rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: out.Columns, Rows: rows, Affected: out.Affected}, nil
+}
+
+// Query opens a server-side cursor over a SELECT and returns a Rows
+// iterator that fetches pages lazily. The caller must Close the Rows (or
+// drain it to completion); abandoning it leaves the server cursor to its
+// TTL.
+func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
+	body := map[string]any{"session": c.session, "sql": sql, "cursor": true}
+	if c.level != "" {
+		body["level"] = c.level
+	}
+	var out struct {
+		Cursor  string   `json:"cursor"`
+		Columns []string `json:"columns"`
+	}
+	if err := c.post(ctx, "/v1/query", body, &out); err != nil {
+		return nil, err
+	}
+	if out.Cursor == "" {
+		return nil, errors.New("flockclient: server returned no cursor id")
+	}
+	return &Rows{c: c, ctx: ctx, cursor: out.Cursor, cols: out.Columns}, nil
+}
+
+// Stmt is a prepared statement handle. The server may evict handles from
+// its LRU; Query/Exec then return a 404 APIError and the statement must be
+// re-prepared.
+type Stmt struct {
+	c      *Client
+	handle string
+	kind   string
+}
+
+// Prepare plans a statement once for repeated execution.
+func (c *Client) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	body := map[string]any{"session": c.session, "sql": sql}
+	if c.level != "" {
+		body["level"] = c.level
+	}
+	var out struct {
+		Stmt string `json:"stmt"`
+		Kind string `json:"kind"`
+	}
+	if err := c.post(ctx, "/v1/prepare", body, &out); err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, handle: out.Stmt, kind: out.Kind}, nil
+}
+
+// Kind reports the prepared statement kind ("select", "insert", ...).
+func (s *Stmt) Kind() string { return s.kind }
+
+// Query opens a paging cursor over a prepared SELECT.
+func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
+	var out struct {
+		Cursor  string   `json:"cursor"`
+		Columns []string `json:"columns"`
+	}
+	err := s.c.post(ctx, "/v1/exec", map[string]any{
+		"session": s.c.session, "stmt": s.handle, "cursor": true,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{c: s.c, ctx: ctx, cursor: out.Cursor, cols: out.Columns}, nil
+}
+
+// Exec runs a prepared statement and materializes the result.
+func (s *Stmt) Exec(ctx context.Context) (*Result, error) {
+	var out struct {
+		Columns  []string            `json:"columns"`
+		Rows     [][]json.RawMessage `json:"rows"`
+		Affected int64               `json:"affected"`
+	}
+	err := s.c.post(ctx, "/v1/exec", map[string]any{
+		"session": s.c.session, "stmt": s.handle,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := decodeRows(out.Rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: out.Columns, Rows: rows, Affected: out.Affected}, nil
+}
+
+// PredictExpr renders a PREDICT(model, args...) SQL expression — the
+// in-DBMS inference extension.
+func PredictExpr(model string, args ...string) string {
+	return fmt.Sprintf("PREDICT(%s, %s)", model, strings.Join(args, ", "))
+}
+
+// Predict scores every row of table through a deployed model, returning a
+// paging Rows with a single "score" column. where, when non-empty, filters
+// the input rows (base-table columns only).
+func (c *Client) Predict(ctx context.Context, model, table string, args []string, where string) (*Rows, error) {
+	q := fmt.Sprintf("SELECT %s AS score FROM %s", PredictExpr(model, args...), table)
+	if where != "" {
+		q += " WHERE " + where
+	}
+	return c.Query(ctx, q)
+}
+
+// PredictAbove scores table rows and keeps those whose score exceeds
+// threshold — shaped so the engine's fused threshold-compare optimization
+// applies (the score column feeds the selection kernel directly).
+func (c *Client) PredictAbove(ctx context.Context, model, table string, args []string, threshold float64) (*Rows, error) {
+	expr := PredictExpr(model, args...)
+	q := fmt.Sprintf("SELECT %s AS score FROM %s WHERE %s > %g", expr, table, expr, threshold)
+	return c.Query(ctx, q)
+}
+
+// ---- transport plumbing ----
+
+// post sends a JSON body and decodes a JSON response into out (out may be
+// nil). Non-2xx responses become *APIError.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return readAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	return dec.Decode(out)
+}
+
+// readAPIError consumes an error response body ({"error": "..."}).
+func readAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+// decodeRows converts raw JSON cells into Go values (int64 where the
+// number is integral, float64 otherwise, plus string/bool/nil).
+func decodeRows(raw [][]json.RawMessage) ([][]any, error) {
+	rows := make([][]any, len(raw))
+	for i, r := range raw {
+		row := make([]any, len(r))
+		for j, cell := range r {
+			v, err := decodeCell(cell)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+func decodeCell(cell json.RawMessage) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(cell))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	if num, ok := v.(json.Number); ok {
+		if i, err := num.Int64(); err == nil && !strings.ContainsAny(num.String(), ".eE") {
+			return i, nil
+		}
+		f, err := num.Float64()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return v, nil
+}

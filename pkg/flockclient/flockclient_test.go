@@ -1,0 +1,261 @@
+package flockclient
+
+// SDK round-trip tests against an in-process serving layer: session
+// lifecycle, paged Query iteration with Scan conversions, prepared
+// statements, PREDICT helpers, DML via Exec, and the distinct
+// cursor-expired condition.
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T, rows int, cfg server.Config) string {
+	t.Helper()
+	f, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access.AssignRole("root", "admin")
+	if err := workload.LoadScoringTable(f.DB, workload.ScoringConfig{
+		Rows: rows, Seed: 7, Regions: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := workload.TrainScoringPipeline(500, 42, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DeployPipeline("root", "churn", pipe, core.TrainingInfo{
+		Script: "flockclient_test", Tables: []string{"customers"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.OnSession = func(user string) { f.Access.AssignRole(user, "admin") }
+	s := server.New(f, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+func TestQueryPagination(t *testing.T) {
+	const rows = 10_000
+	url := testServer(t, rows, server.Config{})
+	ctx := context.Background()
+	c, err := Dial(ctx, url, "root", WithBatchRows(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(ctx)
+
+	rs, err := c.Query(ctx, "SELECT id, income, region FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if cols := rs.Columns(); len(cols) != 3 || cols[2] != "region" {
+		t.Fatalf("columns: %v", cols)
+	}
+	n := 0
+	lastID := int64(-1)
+	for rs.Next() {
+		var id int64
+		var income float64
+		var region string
+		if err := rs.Scan(&id, &income, &region); err != nil {
+			t.Fatal(err)
+		}
+		if id <= lastID {
+			t.Fatalf("ids out of order: %d after %d", id, lastID)
+		}
+		lastID = id
+		if region == "" {
+			t.Fatal("empty region")
+		}
+		n++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("iterated %d rows, want %d", n, rows)
+	}
+	// Drained to completion: the server cursor is gone; Close is a no-op.
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if open := engine.CursorsOpen(); open != 0 {
+		t.Fatalf("%d engine cursors left open", open)
+	}
+}
+
+func TestPreparedAndExec(t *testing.T) {
+	url := testServer(t, 2000, server.Config{})
+	ctx := context.Background()
+	c, err := Dial(ctx, url, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(ctx)
+
+	// DML through Exec.
+	res, err := c.Exec(ctx, "CREATE TABLE notes (id int, body text)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Exec(ctx, "INSERT INTO notes VALUES (1, 'alpha'), (2, 'beta')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("affected %d, want 2", res.Affected)
+	}
+
+	// Small SELECT through Exec materializes with int64/string cells.
+	res, err = c.Exec(ctx, "SELECT id, body FROM notes ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != int64(1) || res.Rows[1][1] != "beta" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+
+	// Prepared SELECT pages through a cursor.
+	stmt, err := c.Prepare(ctx, "SELECT id FROM customers WHERE income > 50000.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Kind() != "select" {
+		t.Fatalf("kind %q", stmt.Kind())
+	}
+	for run := 0; run < 2; run++ { // the whole point: run it twice
+		rs, err := stmt.Query(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rs.Next() {
+			var id int64
+			if err := rs.Scan(&id); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if err := rs.Err(); err != nil {
+			t.Fatal(err)
+		}
+		rs.Close()
+		if n == 0 || n >= 2000 {
+			t.Fatalf("run %d: %d rows, want a filtered subset", run, n)
+		}
+	}
+}
+
+func TestPredictHelper(t *testing.T) {
+	url := testServer(t, 1500, server.Config{})
+	ctx := context.Background()
+	c, err := Dial(ctx, url, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(ctx)
+
+	if e := PredictExpr("churn", "age", "income"); e != "PREDICT(churn, age, income)" {
+		t.Fatalf("PredictExpr: %q", e)
+	}
+	rs, err := c.PredictAbove(ctx, "churn", "customers",
+		[]string{"age", "income", "tenure", "region"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	n := 0
+	for rs.Next() {
+		var score float64
+		if err := rs.Scan(&score); err != nil {
+			t.Fatal(err)
+		}
+		if score <= 0.5 || score > 1 {
+			t.Fatalf("score %v escaped the threshold", score)
+		}
+		n++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no rows scored above threshold")
+	}
+}
+
+func TestCursorExpiredIsDistinct(t *testing.T) {
+	url := testServer(t, 5000, server.Config{
+		CursorTTL: 600 * time.Millisecond,
+	})
+	ctx := context.Background()
+	c, err := Dial(ctx, url, "root", WithBatchRows(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(ctx)
+
+	rs, err := c.Query(ctx, "SELECT id FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if !rs.Next() {
+		t.Fatalf("first page: %v", rs.Err())
+	}
+	// Abandon the cursor well past its TTL, then resume iterating: the
+	// buffered page drains fine, but the next fetch must surface the
+	// distinct cursor-expired condition, not a generic error.
+	time.Sleep(2 * time.Second)
+	for rs.Next() {
+		var id int64
+		if err := rs.Scan(&id); err != nil {
+			break
+		}
+	}
+	err = rs.Err()
+	if err == nil {
+		t.Fatal("iteration ended with no error after expiry")
+	}
+	if !IsCursorExpired(err) {
+		t.Fatalf("want cursor-expired, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "re-run the query") {
+		t.Fatalf("error should tell the user to re-run: %v", err)
+	}
+}
+
+func TestDialAuthFailure(t *testing.T) {
+	url := testServer(t, 100, server.Config{
+		Authenticate: server.StaticTokenAuth(map[string]string{"root": "hunter2"}),
+	})
+	ctx := context.Background()
+	if _, err := Dial(ctx, url, "root", WithToken("wrong")); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	c, err := Dial(ctx, url, "root", WithToken("hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Close(ctx)
+}

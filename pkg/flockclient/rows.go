@@ -1,0 +1,202 @@
+package flockclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Rows iterates a query result database/sql-style, fetching pages from the
+// server-side cursor on demand: the query executed once at Query time, and
+// client memory is bounded by one page. Not safe for concurrent use.
+//
+//	for rows.Next() {
+//	    if err := rows.Scan(&id, &score); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//	rows.Close()
+type Rows struct {
+	c      *Client
+	ctx    context.Context
+	cursor string
+	cols   []string
+
+	page [][]any
+	i    int   // next unread row within page
+	cur  []any // the row Next advanced to; what Scan reads
+	// done: the server finished (and already released) the cursor; the
+	// buffered page may still hold rows to iterate. closed: the user (or a
+	// drained iteration) is finished with the Rows.
+	done   bool
+	closed bool
+	err    error
+}
+
+// Columns names the result columns.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row (database/sql semantics: Next moves, Scan
+// reads the current row and may be called any number of times per Next),
+// fetching the next page from the server when the buffered one is
+// exhausted. It returns false at the end of the result or on error (check
+// Err).
+func (r *Rows) Next() bool {
+	if r.err != nil || (r.closed && !r.done) {
+		return false
+	}
+	for r.i >= len(r.page) {
+		if r.done {
+			r.closed = true // drained; the server already released the cursor
+			r.cur = nil
+			return false
+		}
+		if !r.fetch() {
+			return false
+		}
+	}
+	r.cur = r.page[r.i]
+	r.i++
+	return true
+}
+
+// fetch pulls one page; false means error (EOF is signaled through done and
+// handled by Next's loop).
+func (r *Rows) fetch() bool {
+	var out struct {
+		Rows [][]json.RawMessage `json:"rows"`
+		Done bool                `json:"done"`
+	}
+	err := r.c.post(r.ctx, "/v1/cursor/fetch", map[string]any{
+		"session": r.c.session, "cursor": r.cursor, "max_rows": r.c.batchRows,
+	}, &out)
+	if err != nil {
+		r.err = err
+		return false
+	}
+	page, err := decodeRows(out.Rows)
+	if err != nil {
+		r.err = err
+		return false
+	}
+	r.page = page
+	r.i = 0
+	r.done = out.Done
+	return true
+}
+
+// Scan copies the current row (the one Next advanced to) into dest
+// pointers (*int64, *int, *float64, *string, *bool, *any). Numeric cells
+// convert across int/float when the value fits. Scan does not advance: a
+// failed Scan loses nothing, and repeated Scans reread the same row.
+func (r *Rows) Scan(dest ...any) error {
+	if r.err != nil {
+		return r.err
+	}
+	row := r.cur
+	if row == nil {
+		return errors.New("flockclient: Scan called without a successful Next")
+	}
+	if len(dest) != len(row) {
+		return fmt.Errorf("flockclient: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		if err := assign(d, row[i]); err != nil {
+			return fmt.Errorf("flockclient: column %d (%s): %w", i, r.colName(i), err)
+		}
+	}
+	return nil
+}
+
+func (r *Rows) colName(i int) string {
+	if i < len(r.cols) {
+		return r.cols[i]
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// Err reports the first error encountered while iterating.
+func (r *Rows) Err() error {
+	if r.err != nil && IsCursorExpired(r.err) {
+		return fmt.Errorf("cursor expired mid-iteration (TTL or server restart); re-run the query: %w", r.err)
+	}
+	return r.err
+}
+
+// Close releases the server-side cursor early. Iterators drained to
+// completion are already released server-side; Close is then a no-op.
+// Always safe to defer.
+func (r *Rows) Close() error {
+	if r.closed || r.done {
+		r.closed = true
+		return nil
+	}
+	r.closed = true
+	err := r.c.post(r.ctx, "/v1/cursor/close", map[string]any{
+		"session": r.c.session, "cursor": r.cursor,
+	}, nil)
+	var ae *APIError
+	if errors.As(err, &ae) && (ae.Status == http.StatusNotFound || ae.Status == http.StatusGone) {
+		return nil // already gone (drained, expired, or session-closed)
+	}
+	return err
+}
+
+// assign converts one wire value into a destination pointer.
+func assign(dest, v any) error {
+	switch d := dest.(type) {
+	case *any:
+		*d = v
+		return nil
+	case *int64:
+		switch x := v.(type) {
+		case int64:
+			*d = x
+			return nil
+		case float64:
+			if x == float64(int64(x)) {
+				*d = int64(x)
+				return nil
+			}
+			return fmt.Errorf("float %v into *int64", x)
+		}
+	case *int:
+		switch x := v.(type) {
+		case int64:
+			*d = int(x)
+			return nil
+		case float64:
+			if x == float64(int64(x)) {
+				*d = int(x)
+				return nil
+			}
+			return fmt.Errorf("float %v into *int", x)
+		}
+	case *float64:
+		switch x := v.(type) {
+		case float64:
+			*d = x
+			return nil
+		case int64:
+			*d = float64(x)
+			return nil
+		}
+	case *string:
+		if x, ok := v.(string); ok {
+			*d = x
+			return nil
+		}
+	case *bool:
+		if x, ok := v.(bool); ok {
+			*d = x
+			return nil
+		}
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	if v == nil {
+		return fmt.Errorf("NULL into %T (use *any)", dest)
+	}
+	return fmt.Errorf("cannot scan %T into %T", v, dest)
+}
