@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/onnx"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -58,6 +59,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory only; data does not survive restarts)")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often the background checkpointer folds the WAL into a snapshot")
 	walSync := flag.String("wal-sync", "always", "WAL durability: 'always' fsyncs each committed DML statement, 'off' leaves flushing to the OS")
+	scorerURL := flag.String("scorer-url", "", "remote HTTP scoring endpoint for UDF-mode PREDICT (empty = in-process scoring)")
+	scorerRetries := flag.Int("scorer-retries", 2, "retries per scoring call against -scorer-url (jittered exponential backoff)")
+	scorerBreakFails := flag.Int("scorer-breaker-failures", 5, "consecutive failures before the scorer circuit breaker opens")
+	scorerBreakCooldown := flag.Duration("scorer-breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
+	scorerFallback := flag.Bool("scorer-fallback", true, "fall back to the native in-process scorer when -scorer-url is unavailable")
 	flag.Parse()
 
 	var syncWAL bool
@@ -138,7 +144,29 @@ func main() {
 		cfg.Authenticate = server.StaticTokenAuth(creds)
 	}
 
-	srv := server.New(flock, cfg)
+	// Remote scoring with the full availability ladder: per-endpoint shared
+	// circuit breaker (the engine rebuilds scorers per query, the breaker
+	// state must not reset with them), bounded jittered retry, and optional
+	// fallback to the native in-process scorer.
+	if *scorerURL != "" {
+		flock.DB.SetUDFScorerFactory(func(g *onnx.Graph) (onnx.Scorer, error) {
+			rs := &onnx.ResilientScorer{
+				S:          onnx.NewHTTPScorer(g, *scorerURL, 1000),
+				Breaker:    onnx.SharedBreaker(*scorerURL, *scorerBreakFails, *scorerBreakCooldown),
+				MaxRetries: *scorerRetries,
+			}
+			if *scorerFallback {
+				local, err := onnx.NewLocalScorer(g)
+				if err != nil {
+					return nil, err
+				}
+				rs.Fallback = local
+			}
+			return rs, nil
+		})
+	}
+
+	srv := server.New(flock, cfg) // breaker gauges ride /metrics natively
 
 	// Baseline the score monitor on the deployed model's training-time
 	// distribution so /metrics exports drift state from the start.
@@ -147,9 +175,11 @@ func main() {
 	}
 
 	if dur != nil {
-		// Background checkpointer + durability gauges on /metrics.
+		// Background checkpointer + durability gauges on /metrics, and the
+		// operator recovery path for a degraded (poisoned-WAL) instance.
 		dur.Run(*ckptEvery, func(err error) { log.Printf("flock-serve: checkpoint failed: %v", err) })
 		srv.AttachGauges(dur.Gauges)
+		srv.AttachReopen(dur.Reopen)
 	}
 
 	done := make(chan error, 1)

@@ -163,6 +163,28 @@ func (d *Durability) Checkpoint() error {
 	return nil
 }
 
+// Reopen recovers a degraded (poisoned-WAL) instance back to read-write
+// once the underlying disk fault is resolved: the engine folds the current
+// in-memory state into a fresh durable snapshot, discards the poisoned log,
+// and attaches a fresh WAL. Counted as a checkpoint — that is exactly what
+// it is, plus a log swap. Safe (and a no-op beyond the fold) on a healthy
+// instance.
+func (d *Durability) Reopen() error {
+	if err := d.db.ReopenWAL(); err != nil {
+		return err
+	}
+	d.auditMu.Lock()
+	if d.auditF != nil {
+		_ = d.auditF.Sync()
+	}
+	d.auditMu.Unlock()
+	d.mu.Lock()
+	d.lastCheckpoint = time.Now()
+	d.checkpoints++
+	d.mu.Unlock()
+	return nil
+}
+
 // Run starts the background checkpointer: every interval the WAL is folded
 // into a snapshot, keeping both replay time and log size bounded. The loop
 // stops at Close (which takes a final checkpoint itself).
@@ -238,12 +260,22 @@ func (d *Durability) Gauges() map[string]float64 {
 	ckpts := float64(d.checkpoints)
 	rec := d.recovery
 	d.mu.Unlock()
+	degraded, poisoned := 0.0, 0.0
+	if down, _ := d.db.Degraded(); down {
+		// Today the only degradation trigger is WAL poison, so the two
+		// gauges move together; they are exported separately because future
+		// triggers (replication divergence, read-only standby) will not be
+		// poison-driven.
+		degraded, poisoned = 1, 1
+	}
 	return map[string]float64{
 		"flock_wal_bytes":               float64(d.db.WALSizeBytes()),
 		"flock_checkpoint_age_seconds":  age,
 		"flock_checkpoints_total":       ckpts,
 		"flock_recovery_seconds":        rec.Duration.Seconds(),
 		"flock_recovery_replay_records": float64(rec.Records),
+		"flock_degraded_mode":           degraded,
+		"flock_wal_poisoned":            poisoned,
 	}
 }
 

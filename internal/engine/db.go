@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/onnx"
@@ -42,8 +43,13 @@ type DB struct {
 	// segments covered only by the other's not-yet-renamed snapshot.
 	wal       *WAL
 	durDir    string
+	walSync   bool // the fsync policy OpenDirDB attached the WAL with (ReopenWAL reuses it)
 	replayLSN int64
 	ckptMu    sync.Mutex
+	// degraded, when non-nil, marks read-only degraded mode: the WAL is
+	// poisoned, writes fail fast with ErrReadOnly, reads keep serving. Set
+	// by noteWALErr, cleared by a successful ReopenWAL.
+	degraded atomic.Pointer[degradedState]
 	// retiredWAL keeps the closed WAL reachable so a commit whose
 	// durability wait races CloseDurability still resolves against the
 	// final sync's outcome instead of silently acking (see walWaitDurable).
@@ -76,6 +82,9 @@ func (db *DB) SetModelProvider(p opt.ModelProvider) {
 // CreateTable registers a new empty table (a committed, WAL-logged DDL
 // statement).
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	if err := db.checkWritable(); err != nil {
+		return nil, err
+	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	db.mu.Lock()
@@ -118,6 +127,9 @@ func (db *DB) CreateTableFromColumns(name string, names []string, cols []Column)
 
 // DropTable removes a table (a committed, WAL-logged DDL statement).
 func (db *DB) DropTable(name string) error {
+	if err := db.checkWritable(); err != nil {
+		return err
+	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	db.mu.Lock()
@@ -208,6 +220,9 @@ func (db *DB) appendLog(text, user string) {
 // acknowledging — moving the fsync wait outside the statement lock is what
 // lets concurrent writers on one table share a single group-commit fsync.
 func (db *DB) commitAppend(t *Table, rows [][]Value) (int64, error) {
+	if err := db.checkWritable(); err != nil {
+		return 0, err
+	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	if len(rows) == 0 {
@@ -230,6 +245,9 @@ func (db *DB) commitAppend(t *Table, rows [][]Value) (int64, error) {
 // log -> install -> wait-durable discipline as commitAppend. Caller holds
 // t.writeMu and must walWaitDurable the returned LSN after releasing it.
 func (db *DB) commitReplace(t *Table, cols []Column) (int64, error) {
+	if err := db.checkWritable(); err != nil {
+		return 0, err
+	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	if err := t.validateReplace(cols); err != nil {

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Graceful degradation. A poisoned write-ahead log (failed fsync, an append
+// that could not be rolled back, a failed rotation) used to brick every
+// subsequent commit with an opaque error while leaving the process
+// nominally healthy. Instead the DB now transitions to an explicit
+// read-only degraded mode: reads and cursor fetches keep serving from the
+// in-memory state, writes fail fast with ErrReadOnly, and the serving
+// layer surfaces the state through /readyz and the flock_degraded_mode /
+// flock_wal_poisoned gauges. Recovery is operator-triggered: once the disk
+// heals, ReopenWAL folds the current in-memory state into a fresh durable
+// snapshot, discards the poisoned log, and re-enables writes.
+
+// ErrReadOnly is returned by every write once the DB has degraded to
+// read-only mode. It wraps the poison cause, so errors.Is(err, ErrReadOnly)
+// and errors.Is(err, ErrWALPoisoned) both hold for WAL-driven degradation.
+var ErrReadOnly = errors.New("engine: database is in read-only degraded mode")
+
+// degradedState records why and when the DB degraded.
+type degradedState struct {
+	reason string
+	since  time.Time
+}
+
+// Degraded reports whether the DB is in read-only degraded mode and why.
+func (db *DB) Degraded() (bool, string) {
+	s := db.degraded.Load()
+	if s == nil {
+		return false, ""
+	}
+	return true, s.reason
+}
+
+// DegradedSince reports when the DB degraded (zero time when healthy).
+func (db *DB) DegradedSince() time.Time {
+	s := db.degraded.Load()
+	if s == nil {
+		return time.Time{}
+	}
+	return s.since
+}
+
+// checkWritable is the write-path gate: nil when healthy, a fast typed
+// error once degraded. One atomic load on the happy path.
+func (db *DB) checkWritable() error {
+	s := db.degraded.Load()
+	if s == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (%s); reads still serve, writes resume after a successful ReopenWAL", ErrReadOnly, s.reason)
+}
+
+// noteWALErr inspects an error from a WAL operation and, when it carries
+// the poison sentinel, transitions the DB to degraded mode (idempotent;
+// first cause wins).
+func (db *DB) noteWALErr(err error) {
+	if err == nil || !errors.Is(err, ErrWALPoisoned) {
+		return
+	}
+	db.degraded.CompareAndSwap(nil, &degradedState{
+		reason: strings.TrimSpace(err.Error()),
+		since:  time.Now(),
+	})
+}
+
+// ReopenWAL recovers a degraded database back to read-write once the
+// underlying fault (full disk, failed device) is resolved: under an
+// exclusive commit barrier it writes the current in-memory state — which
+// contains every acknowledged write, plus any installed-but-unacked
+// statements whose clients saw errors — as a fresh durable snapshot,
+// discards the poisoned log and any folded segments, and attaches a fresh
+// WAL continuing the LSN sequence. On failure (the disk is still bad) the
+// DB stays degraded and the error explains why.
+//
+// Also valid on a healthy DB, where it is equivalent to a checkpoint that
+// additionally swaps the log file.
+func (db *DB) ReopenWAL() error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.durDir == "" {
+		return fmt.Errorf("engine: ReopenWAL requires a database opened with OpenDirDB")
+	}
+
+	// The snapshot is built from memory, not from the poisoned log: memory
+	// holds a superset of every durably acked statement (commit order is
+	// install-then-ack), so folding it durably loses nothing.
+	snap := db.buildSnapshotLocked()
+	if db.wal != nil {
+		db.wal.mu.Lock()
+		if db.wal.lsn > snap.LSN {
+			snap.LSN = db.wal.lsn
+		}
+		db.wal.mu.Unlock()
+	} else if db.replayLSN > snap.LSN {
+		snap.LSN = db.replayLSN
+	}
+	if err := writeSnapshotFile(filepath.Join(db.durDir, snapshotFile), snap); err != nil {
+		return fmt.Errorf("engine: reopen: %w", err)
+	}
+
+	// The snapshot now covers everything; the old log and any segments are
+	// garbage. Discard the poisoned handle (best-effort close, bypassing
+	// failpoints) and remove the files — removal failures are tolerable
+	// because recovery skips their records by LSN anyway.
+	if db.wal != nil {
+		db.wal.discard()
+	}
+	if entries, err := os.ReadDir(db.durDir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, walSegSuffix) {
+				if lsn, ok := segLSN(name); ok && lsn <= snap.LSN {
+					_ = os.Remove(filepath.Join(db.durDir, name))
+				}
+			}
+		}
+	}
+
+	w, err := createWAL(filepath.Join(db.durDir, walFile), db.walSync, snap.LSN)
+	if err != nil {
+		// Acked state is safe in the snapshot, but with no log to append to
+		// the DB must stay read-only.
+		db.noteWALErr(fmt.Errorf("%w: reopen could not create a fresh log: %w", ErrWALPoisoned, err))
+		return fmt.Errorf("engine: reopen: %w", err)
+	}
+	db.wal = w
+	db.retiredWAL = nil
+	db.degraded.Store(nil)
+	return nil
+}
+
+// discard closes the underlying file ignoring errors and leaves the WAL
+// poisoned — the reopen path's teardown, where the log's content is already
+// superseded by a freshly written snapshot.
+func (w *WAL) discard() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		_ = w.f.File.Close()
+		w.f = nil
+	}
+	w.broken = true
+	if w.syncErr == nil {
+		w.syncErr = fmt.Errorf("%w: log discarded by reopen", ErrWALPoisoned)
+	}
+	w.cond.Broadcast()
+}

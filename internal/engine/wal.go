@@ -15,7 +15,18 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
+
+// ErrWALPoisoned marks the write-ahead log's sticky failure state: an fsync
+// or unrecoverable append error left the set of durable frames unknowable,
+// so no further commit may be acknowledged from this log. Every error the
+// WAL returns after poisoning wraps this sentinel; the DB layer reacts by
+// entering read-only degraded mode (see ErrReadOnly) rather than bricking
+// the process. Recovery is operator-triggered: ReopenWAL snapshots the
+// in-memory state durably and starts a fresh log.
+var ErrWALPoisoned = errors.New("engine: wal poisoned")
 
 // Write-ahead logging and crash recovery. Every committed DML statement is
 // appended to a durable log as one record, sequenced by a log sequence
@@ -103,13 +114,18 @@ func ReadFrames(r io.Reader, fn func(payload []byte) error) (torn bool, err erro
 		if n > maxFrameLen {
 			return true, nil
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		// Grow the payload as bytes actually arrive rather than trusting
+		// the length field with an upfront make([]byte, n): a corrupt
+		// header claiming a near-maxFrameLen frame on a short file must
+		// read as a torn tail, not a gigabyte allocation.
+		var buf bytes.Buffer
+		if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return true, nil
 			}
 			return false, err
 		}
+		payload := buf.Bytes()
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
 			return true, nil
 		}
@@ -135,7 +151,7 @@ func ReadFrames(r io.Reader, fn func(payload []byte) error) (torn bool, err erro
 type WAL struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // broadcast when syncedLSN advances or the WAL fails
-	f      *os.File
+	f      *fault.File
 	path   string
 	sync   bool
 	lsn    int64
@@ -158,10 +174,13 @@ type WAL struct {
 // createWAL creates (truncating) a fresh log file whose next record gets
 // LSN startLSN+1.
 func createWAL(path string, syncPolicy bool, startLSN int64) (*WAL, error) {
-	f, err := os.Create(path)
+	raw, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("engine: wal: %w", err)
 	}
+	// All subsequent I/O goes through the "wal.*" failpoints so chaos
+	// schedules can fail writes, fsyncs, and truncates deterministically.
+	f := fault.NewFile(raw, "wal")
 	if _, err := io.WriteString(f, walHeader); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("engine: wal: %w", err)
@@ -188,7 +207,7 @@ func (w *WAL) appendFrame(rec *WALRecord, durable bool) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken {
-		return 0, fmt.Errorf("engine: wal is failed (a previous append could not be rolled back); refusing commits")
+		return 0, w.poisonedErrLocked()
 	}
 	var buf bytes.Buffer
 	enc := &WALRecord{}
@@ -208,9 +227,9 @@ func (w *WAL) appendFrame(rec *WALRecord, durable bool) (int64, error) {
 		// to the last good frame boundary. If that fails, poison the WAL so
 		// no further commit can be acknowledged after the garbage.
 		if terr := w.f.Truncate(w.size); terr != nil {
-			w.broken = true
+			w.poisonLocked(fmt.Errorf("engine: wal rewind after failed append: %w", terr))
 		} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
-			w.broken = true
+			w.poisonLocked(fmt.Errorf("engine: wal rewind after failed append: %w", serr))
 		}
 		return 0, fmt.Errorf("engine: wal append: %w", err)
 	}
@@ -221,6 +240,39 @@ func (w *WAL) appendFrame(rec *WALRecord, durable bool) (int64, error) {
 		w.durableAppended++
 	}
 	return w.lsn, nil
+}
+
+// poisonLocked (w.mu held) marks the WAL permanently failed: the set of
+// durable frames is no longer knowable, so every pending and future commit
+// must error instead of acking. The sticky error wraps ErrWALPoisoned so
+// the DB layer can recognize it and degrade to read-only instead of
+// failing opaquely.
+func (w *WAL) poisonLocked(cause error) error {
+	w.broken = true
+	if w.syncErr == nil {
+		w.syncErr = fmt.Errorf("%w: %w", ErrWALPoisoned, cause)
+	}
+	w.cond.Broadcast()
+	return w.syncErr
+}
+
+// poisonedErrLocked (w.mu held) is the error commits see once the WAL is
+// poisoned.
+func (w *WAL) poisonedErrLocked() error {
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	return fmt.Errorf("%w: a previous append could not be rolled back; refusing commits", ErrWALPoisoned)
+}
+
+// poisoned reports the sticky failure, if any.
+func (w *WAL) poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.broken && w.syncErr == nil {
+		return nil
+	}
+	return w.poisonedErrLocked()
 }
 
 // waitDurable blocks until every frame up to lsn is covered by a completed
@@ -261,10 +313,7 @@ func (w *WAL) waitDurable(lsn int64) error {
 			// retryable (the page cache may already have dropped the dirty
 			// pages): poison the WAL so no later commit can be acknowledged,
 			// and fail every current waiter.
-			w.broken = true
-			w.syncErr = fmt.Errorf("engine: wal sync: %w", err)
-			w.cond.Broadcast()
-			return w.syncErr
+			return w.poisonLocked(fmt.Errorf("engine: wal sync: %w", err))
 		}
 		if target > w.syncedLSN {
 			w.groupSyncs++
@@ -320,20 +369,27 @@ func segLSN(name string) (int64, bool) {
 func (w *WAL) rotate() (segment string, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken {
+		return "", w.poisonedErrLocked()
+	}
 	if err := w.f.Sync(); err != nil {
-		return "", fmt.Errorf("engine: wal rotate: %w", err)
+		// Same rule as the group-commit path: a failed fsync means frames
+		// behind the watermark are not known durable.
+		return "", w.poisonLocked(fmt.Errorf("engine: wal rotate: %w", err))
 	}
 	if err := w.f.Close(); err != nil {
-		return "", fmt.Errorf("engine: wal rotate: %w", err)
+		return "", w.poisonLocked(fmt.Errorf("engine: wal rotate: %w", err))
 	}
 	dir := filepath.Dir(w.path)
 	segment = filepath.Join(dir, segName(w.lsn))
-	if err := os.Rename(w.path, segment); err != nil {
-		return "", fmt.Errorf("engine: wal rotate: %w", err)
+	if err := fault.Rename("checkpoint.rename", w.path, segment); err != nil {
+		// The live file is already closed; without a successful rename +
+		// fresh log there is nothing to append to.
+		return "", w.poisonLocked(fmt.Errorf("engine: wal rotate: %w", err))
 	}
 	nw, err := createWAL(w.path, w.sync, w.lsn)
 	if err != nil {
-		return "", err
+		return "", w.poisonLocked(fmt.Errorf("engine: wal rotate: %w", err))
 	}
 	w.f, w.size = nw.f, nw.size
 	// The pre-rotation Sync covered every frame in the old file.
@@ -360,10 +416,7 @@ func (w *WAL) close() error {
 		// A failed final sync means frames behind the watermark are not
 		// known durable: poison the WAL so any commit still racing toward
 		// its durability wait errors instead of acking.
-		w.broken = true
-		if w.syncErr == nil {
-			w.syncErr = fmt.Errorf("engine: wal close: %w", err)
-		}
+		w.poisonLocked(fmt.Errorf("engine: wal close: %w", err))
 	}
 	w.f = nil
 	w.cond.Broadcast()
@@ -450,6 +503,7 @@ func OpenDirDB(dir string, syncWAL bool) (*DB, RecoveryInfo, error) {
 	db.commitMu.Lock()
 	db.wal = wal
 	db.durDir = dir
+	db.walSync = syncWAL
 	db.commitMu.Unlock()
 	info.Duration = time.Since(start)
 	return db, info, nil
@@ -599,6 +653,9 @@ func (db *DB) Checkpoint() error {
 	_, err := db.wal.rotate()
 	db.commitMu.Unlock()
 	if err != nil {
+		// A failed rotation poisons the WAL (the live file may already be
+		// closed); make the degradation visible instead of just erroring.
+		db.noteWALErr(err)
 		return err
 	}
 
@@ -629,11 +686,12 @@ func (db *DB) Checkpoint() error {
 // the same directory, fsync, rename over the target, fsync the directory.
 func writeSnapshotFile(path string, snap savedDB) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	raw, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("engine: snapshot: %w", err)
 	}
-	tmpName := tmp.Name()
+	tmp := fault.NewFile(raw, "snapshot")
+	tmpName := raw.Name()
 	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
@@ -649,7 +707,7 @@ func writeSnapshotFile(path string, snap savedDB) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("engine: snapshot: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fault.Rename("snapshot.rename", tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("engine: snapshot: %w", err)
 	}
@@ -711,7 +769,9 @@ func (db *DB) walAppend(rec *WALRecord, durable bool) error {
 	if db.wal == nil {
 		return nil
 	}
-	return db.wal.append(rec, durable)
+	err := db.wal.append(rec, durable)
+	db.noteWALErr(err)
+	return err
 }
 
 // walAppendFrame frames one committed record without waiting for
@@ -722,6 +782,7 @@ func (db *DB) walAppendFrame(rec *WALRecord) error {
 		return nil
 	}
 	_, err := db.wal.appendFrame(rec, true)
+	db.noteWALErr(err)
 	return err
 }
 
@@ -745,7 +806,9 @@ func (db *DB) walWaitDurable(lsn int64) error {
 	if w == nil {
 		return nil
 	}
-	return w.waitDurable(lsn)
+	err := w.waitDurable(lsn)
+	db.noteWALErr(err)
+	return err
 }
 
 // WALGroupCommitStats reports completed group-commit fsyncs and the records

@@ -1,0 +1,76 @@
+package fault
+
+import "os"
+
+// File wraps an *os.File so the failure modes disks actually exhibit —
+// fsync errors, ENOSPC, short writes, torn renames — can be injected at
+// named failpoints. Each wrapped file carries a prefix ("wal", "snapshot",
+// ...) and consults "<prefix>.write", "<prefix>.fsync", "<prefix>.close",
+// and "<prefix>.truncate". With nothing armed every method is a direct
+// passthrough plus one atomic load.
+type File struct {
+	*os.File
+	prefix string
+}
+
+// NewFile wraps f under the given failpoint prefix.
+func NewFile(f *os.File, prefix string) *File {
+	return &File{File: f, prefix: prefix}
+}
+
+// Write consults "<prefix>.write". A triggered failpoint with Partial set
+// first persists the front half of the buffer — a torn frame, exactly what
+// a crash mid-write leaves on disk — before reporting the error.
+func (f *File) Write(p []byte) (int, error) {
+	o, ok := eval(f.prefix + ".write")
+	if !ok {
+		return f.File.Write(p)
+	}
+	if o.partial && len(p) > 1 {
+		n, werr := f.File.Write(p[: len(p)/2 : len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, o.fail()
+	}
+	return 0, o.fail()
+}
+
+// Sync consults "<prefix>.fsync". Note that a real fsync error means the
+// kernel may already have dropped the dirty pages, so callers must treat
+// this as non-retryable — which is exactly the WAL-poison path this
+// failpoint exists to exercise.
+func (f *File) Sync() error {
+	if err := Inject(f.prefix + ".fsync"); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// Close consults "<prefix>.close".
+func (f *File) Close() error {
+	if err := Inject(f.prefix + ".close"); err != nil {
+		return err
+	}
+	return f.File.Close()
+}
+
+// Truncate consults "<prefix>.truncate" — the WAL's rewind-on-partial-write
+// repair path, whose own failure is what actually poisons the log.
+func (f *File) Truncate(size int64) error {
+	if err := Inject(f.prefix + ".truncate"); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+// Rename routes os.Rename through a named failpoint so checkpoint segment
+// rotation and snapshot publication can be made to fail atomically (the
+// rename either happened or it did not — no torn state, matching rename(2)
+// on POSIX filesystems).
+func Rename(point, oldpath, newpath string) error {
+	if err := Inject(point); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}

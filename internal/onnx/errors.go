@@ -1,0 +1,104 @@
+package onnx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// Typed scoring-transport errors. The breaker, the retry loop, and the
+// serving layer's metrics all need to tell a dead backend (connection
+// refused, DNS failure) from a slow one (timeout) from an unhealthy one
+// (HTTP 5xx) — string-prefix matching cannot. Every message still starts
+// with "onnx:" so the repo's error-prefix convention (and older callers
+// matching on it) keeps working.
+
+// ErrorKind classifies how a remote scoring call failed.
+type ErrorKind int
+
+const (
+	KindUnknown ErrorKind = iota
+	KindConnect           // endpoint unreachable: DNS failure, connection refused
+	KindTimeout           // the request deadline expired
+	KindHTTP              // the backend answered with a non-200 status
+	KindBreaker           // the circuit breaker is open; no request was sent
+)
+
+// String is the metrics label for the kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindConnect:
+		return "connect"
+	case KindTimeout:
+		return "timeout"
+	case KindHTTP:
+		return "http"
+	case KindBreaker:
+		return "breaker"
+	}
+	return "unknown"
+}
+
+// ScoreError is a failed remote scoring call, classified.
+type ScoreError struct {
+	Kind     ErrorKind
+	Status   int    // HTTP status when Kind == KindHTTP
+	Endpoint string // the scoring URL involved
+	Err      error  // underlying cause
+}
+
+func (e *ScoreError) Error() string {
+	switch e.Kind {
+	case KindHTTP:
+		return fmt.Sprintf("onnx: http scorer: backend %s returned %d: %v", e.Endpoint, e.Status, e.Err)
+	case KindBreaker:
+		return fmt.Sprintf("onnx: http scorer: circuit breaker open for %s: %v", e.Endpoint, e.Err)
+	default:
+		return fmt.Sprintf("onnx: http scorer: %s %s: %v", e.Kind, e.Endpoint, e.Err)
+	}
+}
+
+func (e *ScoreError) Unwrap() error { return e.Err }
+
+// Transient reports whether retrying the same call can plausibly succeed:
+// connect failures, timeouts, and backend 5xx are transient; 4xx (the
+// request itself is bad) and an open breaker (retrying immediately defeats
+// its purpose) are not.
+func (e *ScoreError) Transient() bool {
+	switch e.Kind {
+	case KindConnect, KindTimeout:
+		return true
+	case KindHTTP:
+		return e.Status >= 500
+	}
+	return false
+}
+
+// classifyTransport wraps a transport-level error (http.Client.Do) into a
+// ScoreError with the right kind.
+func classifyTransport(endpoint string, err error) *ScoreError {
+	kind := KindUnknown
+	var ne net.Error
+	var dns *net.DNSError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = KindTimeout
+	case errors.As(err, &ne) && ne.Timeout():
+		kind = KindTimeout
+	case errors.As(err, &dns),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EHOSTUNREACH),
+		errors.Is(err, syscall.ENETUNREACH):
+		kind = KindConnect
+	default:
+		// Remaining *net.OpErrors are dial/read failures against a dead or
+		// dying peer — connect-class for breaker purposes.
+		var op *net.OpError
+		if errors.As(err, &op) {
+			kind = KindConnect
+		}
+	}
+	return &ScoreError{Kind: kind, Endpoint: endpoint, Err: err}
+}

@@ -8,7 +8,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Scorer is anything that can score a batch; implemented by Session-backed
@@ -148,28 +151,32 @@ func (s *ScoringServer) Close() error {
 // HTTPScorer scores batches against a ScoringServer endpoint, chunking
 // rows per request like a REST client would.
 type HTTPScorer struct {
-	url       string
-	graph     *Graph
-	chunkRows int
-	client    *http.Client
+	url        string
+	graph      *Graph
+	chunkRows  int
+	client     *http.Client
+	reqTimeout time.Duration
 }
 
 // NewHTTPScorer builds a client for the given endpoint. chunkRows defaults
-// to 1000. Requests carry a 60s safety timeout — raise or clear it with
-// SetTimeout for slow backends, and use ScoreContext for per-query
-// deadlines.
+// to 1000. Each chunk request carries a 60s safety timeout layered UNDER
+// the caller's context (the per-query deadline always propagates; the
+// safety timeout only catches hung backends when the query has no deadline
+// of its own) — tune or clear it with SetTimeout.
 func NewHTTPScorer(g *Graph, url string, chunkRows int) *HTTPScorer {
 	if chunkRows <= 0 {
 		chunkRows = 1000
 	}
 	return &HTTPScorer{url: url, graph: g, chunkRows: chunkRows,
-		client: &http.Client{Timeout: 60 * time.Second}}
+		client: &http.Client{}, reqTimeout: 60 * time.Second}
 }
 
-// SetTimeout replaces the per-request safety timeout (0 disables it,
-// restoring the pre-timeout behavior; cancellation then comes only from
-// ScoreContext).
-func (hs *HTTPScorer) SetTimeout(d time.Duration) { hs.client.Timeout = d }
+// SetTimeout replaces the per-chunk safety timeout (0 disables it;
+// cancellation then comes only from ScoreContext's context).
+func (hs *HTTPScorer) SetTimeout(d time.Duration) { hs.reqTimeout = d }
+
+// URL reports the scoring endpoint (the SharedBreaker key).
+func (hs *HTTPScorer) URL() string { return hs.url }
 
 // Score POSTs the batch chunk by chunk and collects the scores.
 func (hs *HTTPScorer) Score(b *Batch) ([]float64, error) {
@@ -178,7 +185,10 @@ func (hs *HTTPScorer) Score(b *Batch) ([]float64, error) {
 
 // ScoreContext is Score under a cancellation context: an in-flight request
 // aborts as soon as ctx is done, so a hung scoring service cannot wedge the
-// calling query.
+// calling query. Each chunk request runs under the caller's context plus
+// the per-chunk safety timeout, and failures come back as typed
+// *ScoreError values (connect vs timeout vs HTTP status) so breakers and
+// metrics can tell a dead backend from a slow one.
 func (hs *HTTPScorer) ScoreContext(ctx context.Context, b *Batch) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -189,36 +199,56 @@ func (hs *HTTPScorer) ScoreContext(ctx context.Context, b *Batch) ([]float64, er
 		if hi > b.N {
 			hi = b.N
 		}
+		if err := fault.Inject("scorer.http"); err != nil {
+			return nil, &ScoreError{Kind: KindConnect, Endpoint: hs.url, Err: err}
+		}
 		wire, err := encodeBatchJSON(hs.graph, sliceBatch(b, lo, hi))
 		if err != nil {
 			return nil, err
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.url, bytes.NewReader(wire))
-		if err != nil {
-			return nil, fmt.Errorf("onnx: http scorer: %w", err)
+		cctx, cancel := ctx, context.CancelFunc(func() {})
+		if hs.reqTimeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, hs.reqTimeout)
 		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := hs.client.Do(req)
+		scores, err := hs.scoreChunk(cctx, wire)
+		cancel()
 		if err != nil {
-			// Surface the cancellation cause rather than the wrapped url.Error.
+			// The caller's own cancellation/deadline surfaces as-is (it is
+			// not a backend fault); everything else is classified.
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
 			}
-			return nil, fmt.Errorf("onnx: http scorer: %w", err)
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
 			return nil, err
 		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("onnx: http scorer: %s: %s", resp.Status, body)
-		}
-		var sr scoreResponse
-		if err := json.Unmarshal(body, &sr); err != nil {
-			return nil, err
-		}
-		out = append(out, sr.Scores...)
+		out = append(out, scores...)
 	}
 	return out, nil
+}
+
+// scoreChunk POSTs one encoded chunk and decodes the scores; transport and
+// status failures come back as *ScoreError.
+func (hs *HTTPScorer) scoreChunk(ctx context.Context, wire []byte) ([]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.url, bytes.NewReader(wire))
+	if err != nil {
+		return nil, fmt.Errorf("onnx: http scorer: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hs.client.Do(req)
+	if err != nil {
+		return nil, classifyTransport(hs.url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, classifyTransport(hs.url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &ScoreError{Kind: KindHTTP, Status: resp.StatusCode, Endpoint: hs.url,
+			Err: fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))}
+	}
+	var sr scoreResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("onnx: http scorer: decoding response: %w", err)
+	}
+	return sr.Scores, nil
 }

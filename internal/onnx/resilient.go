@@ -1,0 +1,133 @@
+package onnx
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// ResilientScorer wraps a remote scorer with the standard availability
+// ladder: circuit breaker (fail fast while the backend is down), bounded
+// retry with jittered exponential backoff (ride out blips), and an
+// optional fallback scorer (serve from the native in-process model when the
+// remote form is unavailable). Scoring is idempotent — a batch scored twice
+// yields the same scores — which is what makes blind retry safe here.
+type ResilientScorer struct {
+	// S is the primary (remote) scorer.
+	S Scorer
+	// Breaker, when set, gates every attempt; use SharedBreaker so the
+	// circuit state survives scorer rebuilds.
+	Breaker *Breaker
+	// Fallback, when set, serves the batch after the primary is exhausted
+	// (retries spent, non-transient failure, or open breaker).
+	Fallback Scorer
+	// MaxRetries bounds re-attempts after the first try; default 2.
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (doubled per retry, ±50%
+	// jitter so synchronized clients don't re-converge); default 50ms.
+	BaseBackoff time.Duration
+}
+
+// Process-wide resilience counters, exported by BreakerGauges.
+var (
+	scorerRetries   atomic.Int64
+	scorerFallbacks atomic.Int64
+)
+
+func (r *ResilientScorer) retries() int {
+	if r.MaxRetries > 0 {
+		return r.MaxRetries
+	}
+	return 2
+}
+
+func (r *ResilientScorer) backoff(attempt int) time.Duration {
+	base := r.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << attempt
+	// ±50% jitter.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Score scores without a cancellation context.
+func (r *ResilientScorer) Score(b *Batch) ([]float64, error) {
+	return r.ScoreContext(context.Background(), b)
+}
+
+// ScoreContext drives the ladder. The caller's context always wins: its
+// cancellation is returned as-is (never retried, never masked by the
+// fallback), matching how the serving layer classifies timeouts.
+func (r *ResilientScorer) ScoreContext(ctx context.Context, b *Batch) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	attempts := r.retries() + 1
+	for i := 0; i < attempts; i++ {
+		if r.Breaker != nil {
+			if err := r.Breaker.Allow(); err != nil {
+				// Open circuit: no point iterating the retry budget.
+				lastErr = err
+				break
+			}
+		}
+		scores, err := ScoreWithContext(ctx, r.S, b)
+		if err == nil {
+			if r.Breaker != nil {
+				r.Breaker.Success()
+			}
+			return scores, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline/cancel fired; the backend is not to
+			// blame and the caller is gone — stop immediately.
+			return nil, err
+		}
+		lastErr = err
+		transient := false
+		if se, ok := err.(*ScoreError); ok { //nolint:errorlint // the scorer returns its own top-level type
+			transient = se.Transient()
+			if r.Breaker != nil && transient {
+				// Only backend-health failures feed the breaker; a 4xx says
+				// the request is bad, not the backend.
+				r.Breaker.Failure()
+			}
+		}
+		if !transient || i == attempts-1 {
+			break
+		}
+		scorerRetries.Add(1)
+		select {
+		case <-time.After(r.backoff(i)):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+	}
+	if r.Fallback != nil {
+		scorerFallbacks.Add(1)
+		return ScoreWithContext(ctx, r.Fallback, b)
+	}
+	return nil, lastErr
+}
+
+// LocalScorer adapts a planned native Session to the Scorer interface —
+// the in-process fallback for models that have both a remote deployment
+// and a native graph registered.
+type LocalScorer struct {
+	S *Session
+}
+
+// NewLocalScorer plans g for native in-process scoring.
+func NewLocalScorer(g *Graph) (*LocalScorer, error) {
+	s, err := NewSession(g)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalScorer{S: s}, nil
+}
+
+// Score runs the batch through the native session.
+func (l *LocalScorer) Score(b *Batch) ([]float64, error) { return l.S.Run(b) }

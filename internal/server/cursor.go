@@ -386,8 +386,8 @@ func (s *Server) handleCursorFetch(w http.ResponseWriter, r *http.Request) {
 	if err := s.adm.acquire(fctx); err != nil {
 		status, label := classifyErr(err)
 		s.met.observeQuery("fetch", label, time.Since(start))
-		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
 		}
 		writeError(w, status, err)
 		return
@@ -509,8 +509,8 @@ func (s *Server) openServerCursor(w http.ResponseWriter, r *http.Request, sess *
 	if err := s.adm.acquire(qctx); err != nil {
 		status, label := classifyErr(err)
 		s.met.observeQuery("select", label, time.Since(start))
-		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
 		}
 		writeError(w, status, err)
 		return

@@ -16,8 +16,10 @@
 //	POST   /v1/exec            {session, stmt, timeout_ms, stream, cursor}
 //	POST   /v1/cursor/fetch    {session, cursor, max_rows, timeout_ms} -> {columns, rows, done}
 //	POST   /v1/cursor/close    {session, cursor}        -> 204
+//	POST   /v1/admin/reopen    {session}                -> {"status":"ok"} (recover a degraded instance)
 //	GET    /metrics            Prometheus text exposition
-//	GET    /healthz            {"status":"ok"}
+//	GET    /healthz            {"status":"ok"} (liveness: the process serves)
+//	GET    /readyz             {"status":"ready"} | 503 {"status":"degraded", ...} (readiness: writes accepted)
 //
 // Results flow pull-based end-to-end: "stream": true drains an engine
 // cursor as NDJSON with O(batch) server memory, and "cursor": true opens a
@@ -37,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +49,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/governance"
 	"repro/internal/monitor"
+	"repro/internal/onnx"
 	"repro/internal/opt"
 	sqlpkg "repro/internal/sql"
 )
@@ -153,6 +157,13 @@ type Server struct {
 
 	gaugeMu      sync.Mutex
 	gaugeSources []func() map[string]float64
+
+	// reopenFn services POST /v1/admin/reopen; defaults to the engine's
+	// ReopenWAL and is replaced via AttachReopen when a core.Durability
+	// owns the data directory (its Reopen also syncs the audit log and
+	// counts the fold as a checkpoint).
+	reopenMu sync.Mutex
+	reopenFn func() error
 }
 
 // New assembles a server over flock. Call Serve/ListenAndServe to accept
@@ -180,10 +191,15 @@ func New(flock *core.Flock, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
 	s.mux.HandleFunc("POST /v1/cursor/fetch", s.handleCursorFetch)
 	s.mux.HandleFunc("POST /v1/cursor/close", s.handleCursorClose)
+	s.mux.HandleFunc("POST /v1/admin/reopen", s.handleAdminReopen)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: a degraded (read-only) instance is still alive and
+		// serving reads, so /healthz stays ok — restarts don't heal a bad
+		// disk. Readiness is /readyz's job.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 
 	s.httpSrv = &http.Server{
 		Handler:           s.mux,
@@ -212,6 +228,83 @@ func (s *Server) AttachGauges(src func() map[string]float64) {
 	s.gaugeMu.Lock()
 	s.gaugeSources = append(s.gaugeSources, src)
 	s.gaugeMu.Unlock()
+}
+
+// AttachReopen replaces the function behind POST /v1/admin/reopen (wired
+// to core.Durability.Reopen by flock-serve so the recovery fold also syncs
+// the audit log and counts as a checkpoint).
+func (s *Server) AttachReopen(fn func() error) {
+	s.reopenMu.Lock()
+	s.reopenFn = fn
+	s.reopenMu.Unlock()
+}
+
+// handleReadyz is the readiness probe: 200 while the instance accepts
+// writes, 503 with the degradation reason once the WAL is poisoned and the
+// DB is read-only. Load balancers route writes away on 503; /healthz stays
+// 200 so orchestrators don't restart a process that a restart cannot heal.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if down, reason := s.flock.DB.Degraded(); down {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded", "mode": "read-only", "reason": reason,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleAdminReopen recovers a degraded instance back to read-write (see
+// engine.ReopenWAL): operator-triggered, session-authenticated, audited.
+func (s *Server) handleAdminReopen(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad reopen request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	wasDegraded, _ := s.flock.DB.Degraded()
+	s.reopenMu.Lock()
+	reopen := s.reopenFn
+	s.reopenMu.Unlock()
+	if reopen == nil {
+		reopen = s.flock.DB.ReopenWAL
+	}
+	err := reopen()
+	s.flock.Audit.Record(sess.user, "admin.reopen", "", fmt.Sprintf("degraded=%v", wasDegraded), err == nil)
+	if err != nil {
+		// The disk is still bad: the instance stays degraded and the error
+		// says why. 503 matches what writes are returning.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "was_degraded": wasDegraded})
+}
+
+// retryAfterSeconds derives backpressure advice from live pressure instead
+// of a constant: the deeper the wait queue (or drain-slot overflow)
+// relative to the worker pool, the longer shed clients should back off.
+// Bounded to [1, 30] so advice stays actionable.
+func (s *Server) retryAfterSeconds() int {
+	pressure := int(s.adm.queued.Load())
+	if over := int(s.streamDrains.Load()) - s.cfg.MaxStreamDrains; over > pressure {
+		pressure = over
+	}
+	secs := 1 + pressure/s.cfg.MaxWorkers
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// setRetryAfter stamps the derived backoff on a 503 response.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 }
 
 // ListenAndServe binds addr and serves until Shutdown.
@@ -440,8 +533,8 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	defer sess.end()
 	if err := s.adm.acquire(pctx); err != nil {
 		status, _ := classifyErr(err)
-		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
 		}
 		writeError(w, status, err)
 		return
@@ -544,6 +637,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		gauges["flock_wal_group_commit_batch"] = 0
 	}
+	// Degradation state straight from the engine, so the gauges exist even
+	// when no durability subsystem is attached (an attached one exports the
+	// same values — map assignment keeps them single).
+	gauges["flock_degraded_mode"], gauges["flock_wal_poisoned"] = 0, 0
+	if down, _ := s.flock.DB.Degraded(); down {
+		gauges["flock_degraded_mode"], gauges["flock_wal_poisoned"] = 1, 1
+	}
+	gauges["flock_retry_after_seconds"] = float64(s.retryAfterSeconds())
+	// Scorer resilience: per-endpoint circuit-breaker state plus the
+	// process-wide retry/fallback counters (present even before the first
+	// remote scorer is built — the registry is process-wide).
+	for k, v := range onnx.BreakerGauges() {
+		gauges[k] = v
+	}
 	s.gaugeMu.Lock()
 	sources := append([]func() map[string]float64(nil), s.gaugeSources...)
 	s.gaugeMu.Unlock()
@@ -595,8 +702,8 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, sess *session,
 	if err := s.adm.acquire(qctx); err != nil {
 		status, label := classifyErr(err)
 		s.met.observeQuery(kind, label, time.Since(start))
-		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
 		}
 		writeError(w, status, err)
 		return
@@ -620,6 +727,11 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, sess *session,
 	if err != nil {
 		status, label := classifyErr(err)
 		s.met.observeQuery(kind, label, elapsed)
+		if status == http.StatusServiceUnavailable {
+			// Degraded instance (or saturated queue): tell clients how long
+			// to back off instead of letting them spin.
+			s.setRetryAfter(w)
+		}
 		writeError(w, status, err)
 		return
 	}
@@ -684,8 +796,8 @@ func (s *Server) streamCursor(w http.ResponseWriter, r *http.Request, sess *sess
 	if err := s.adm.acquire(octx); err != nil {
 		status, label := classifyErr(err)
 		s.met.observeQuery("select", label, time.Since(start))
-		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
 		}
 		writeError(w, status, err)
 		return
@@ -704,6 +816,9 @@ func (s *Server) streamCursor(w http.ResponseWriter, r *http.Request, sess *sess
 		release()
 		status, label := classifyErr(err)
 		s.met.observeQuery("select", label, time.Since(start))
+		if status == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
+		}
 		writeError(w, status, err)
 		return
 	}
@@ -714,7 +829,7 @@ func (s *Server) streamCursor(w http.ResponseWriter, r *http.Request, sess *sess
 		s.streamDrains.Add(-1)
 		release()
 		s.met.observeQuery("select", "rejected", time.Since(start))
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable,
 			errors.New("server: too many concurrent stream drains, try again later"))
 		return
@@ -825,9 +940,15 @@ func (s *Server) streamResult(w http.ResponseWriter, res *engine.Result, elapsed
 // status label.
 func classifyErr(err error) (int, string) {
 	var perm *governance.PermissionError
+	var se *onnx.ScoreError
 	switch {
 	case errors.Is(err, errQueueFull):
 		return http.StatusServiceUnavailable, "rejected"
+	case errors.Is(err, engine.ErrReadOnly) || errors.Is(err, engine.ErrWALPoisoned):
+		// The instance degraded to read-only (poisoned WAL): the write is
+		// refused but the condition is the server's, not the request's. 503
+		// tells load balancers to route writes elsewhere; reads still serve.
+		return http.StatusServiceUnavailable, "degraded"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
@@ -836,6 +957,10 @@ func classifyErr(err error) (int, string) {
 		return 499, "canceled"
 	case errors.As(err, &perm):
 		return http.StatusForbidden, "denied"
+	case errors.As(err, &se):
+		// A typed scoring-transport failure (connect/timeout/HTTP 5xx from
+		// the remote backend, or an open circuit breaker).
+		return http.StatusBadGateway, "backend"
 	case strings.HasPrefix(err.Error(), "onnx:"):
 		// A scoring-backend failure (e.g. the remote model service is
 		// down) is an upstream fault, not a bad request — 502 keeps 5xx

@@ -26,8 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // APIError is a non-2xx response from the server, carrying the HTTP status
@@ -35,10 +39,39 @@ import (
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's backoff advice from the Retry-After header
+	// (zero when absent). The server derives it from live queue pressure,
+	// so honoring it beats a fixed client-side backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("flockclient: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsTransient reports whether err is a transient condition a retry can
+// plausibly outlive: server-side shedding or degradation (503), an
+// upstream scoring failure (502), a server-side timeout (504), or a
+// transport-level timeout/connection failure. Client mistakes (4xx) and
+// context cancellation are not transient.
+func IsTransient(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) // dial/read against a dead or restarting server
 }
 
 // IsCursorExpired reports whether err is the server's distinct "cursor
@@ -60,6 +93,8 @@ type Client struct {
 	session   string
 	batchRows int
 	level     string
+	retryMax  int
+	retryBase time.Duration
 }
 
 // Option configures Dial.
@@ -94,6 +129,25 @@ func WithLevel(level string) Option {
 	return func(c *Client) { c.level = level }
 }
 
+// WithRetry enables bounded retry with exponential backoff for transient
+// failures (see IsTransient) on idempotent calls: Dial, Ping, Query,
+// Prepare, prepared-SELECT Query, and cursor fetch/close. Exec is NEVER
+// retried — DML is not idempotent and an ambiguous outcome (request landed,
+// response lost) must surface to the caller. max bounds re-attempts after
+// the first try; base seeds the backoff (doubled per retry with jitter,
+// default 100ms), overridden by the server's Retry-After advice when
+// present. Retries stop immediately once the call's context is done.
+func WithRetry(max int, base time.Duration) Option {
+	return func(c *Client) {
+		if max > 0 {
+			c.retryMax = max
+		}
+		if base > 0 {
+			c.retryBase = base
+		}
+	}
+}
+
 // Dial opens an authenticated session. Close releases it server-side.
 func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, error) {
 	c := &Client{
@@ -101,6 +155,7 @@ func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, e
 		hc:        &http.Client{},
 		user:      user,
 		batchRows: 4096,
+		retryBase: 100 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(c)
@@ -108,7 +163,9 @@ func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, e
 	var out struct {
 		Session string `json:"session"`
 	}
-	if err := c.post(ctx, "/v1/sessions", map[string]any{"user": user, "token": c.token}, &out); err != nil {
+	// Session creation is safely retryable: a duplicate session from a
+	// landed-but-lost first attempt just expires with its TTL.
+	if err := c.postIdem(ctx, "/v1/sessions", map[string]any{"user": user, "token": c.token}, &out); err != nil {
 		return nil, err
 	}
 	if out.Session == "" {
@@ -164,7 +221,10 @@ type Result struct {
 }
 
 // Exec runs a statement (DML, DDL, or a small SELECT) and returns the
-// materialized result. For large SELECTs use Query, which pages.
+// materialized result. For large SELECTs use Query, which pages. Exec is
+// never retried by WithRetry: DML is not idempotent, and an ambiguous
+// outcome (the request landed but the response was lost) must surface to
+// the caller rather than risk a double-apply.
 func (c *Client) Exec(ctx context.Context, sql string) (*Result, error) {
 	body := map[string]any{"session": c.session, "sql": sql}
 	if c.level != "" {
@@ -198,7 +258,9 @@ func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
 		Cursor  string   `json:"cursor"`
 		Columns []string `json:"columns"`
 	}
-	if err := c.post(ctx, "/v1/query", body, &out); err != nil {
+	// Opening a cursor is retryable: a cursor orphaned by a lost response
+	// expires with its TTL, and the query has no side effects.
+	if err := c.postIdem(ctx, "/v1/query", body, &out); err != nil {
 		return nil, err
 	}
 	if out.Cursor == "" {
@@ -226,7 +288,7 @@ func (c *Client) Prepare(ctx context.Context, sql string) (*Stmt, error) {
 		Stmt string `json:"stmt"`
 		Kind string `json:"kind"`
 	}
-	if err := c.post(ctx, "/v1/prepare", body, &out); err != nil {
+	if err := c.postIdem(ctx, "/v1/prepare", body, &out); err != nil {
 		return nil, err
 	}
 	return &Stmt{c: c, handle: out.Stmt, kind: out.Kind}, nil
@@ -241,7 +303,7 @@ func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
 		Cursor  string   `json:"cursor"`
 		Columns []string `json:"columns"`
 	}
-	err := s.c.post(ctx, "/v1/exec", map[string]any{
+	err := s.c.postIdem(ctx, "/v1/exec", map[string]any{
 		"session": s.c.session, "stmt": s.handle, "cursor": true,
 	}, &out)
 	if err != nil {
@@ -298,6 +360,33 @@ func (c *Client) PredictAbove(ctx context.Context, model, table string, args []s
 
 // ---- transport plumbing ----
 
+// postIdem is post plus the bounded retry policy configured by WithRetry —
+// for idempotent endpoints only. Re-running a query open or a fetch is safe
+// by the server's design: a failed or timed-out fetch rolls its window
+// back, and an orphaned cursor dies with its TTL. The delay honors the
+// server's Retry-After advice when present, else jittered exponential
+// backoff from the configured base.
+func (c *Client) postIdem(ctx context.Context, path string, body, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.post(ctx, path, body, out)
+		if err == nil || attempt >= c.retryMax || !IsTransient(err) || ctx.Err() != nil {
+			return err
+		}
+		delay := c.retryBase << attempt
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay))) // ±50% jitter
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			delay = ae.RetryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
 // post sends a JSON body and decodes a JSON response into out (out may be
 // nil). Non-2xx responses become *APIError.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
@@ -337,7 +426,13 @@ func readAPIError(resp *http.Response) error {
 	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
 		msg = envelope.Error
 	}
-	return &APIError{Status: resp.StatusCode, Message: msg}
+	ae := &APIError{Status: resp.StatusCode, Message: msg}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 // decodeRows converts raw JSON cells into Go values (int64 where the

@@ -62,13 +62,16 @@ func (r *Rows) Next() bool {
 }
 
 // fetch pulls one page; false means error (EOF is signaled through done and
-// handled by Next's loop).
+// handled by Next's loop). Fetch is retryable by design (and WithRetry
+// exploits it): the server rolls a failing or timed-out window back before
+// reporting, so re-fetching resumes from the same position — no rows are
+// skipped or duplicated.
 func (r *Rows) fetch() bool {
 	var out struct {
 		Rows [][]json.RawMessage `json:"rows"`
 		Done bool                `json:"done"`
 	}
-	err := r.c.post(r.ctx, "/v1/cursor/fetch", map[string]any{
+	err := r.c.postIdem(r.ctx, "/v1/cursor/fetch", map[string]any{
 		"session": r.c.session, "cursor": r.cursor, "max_rows": r.c.batchRows,
 	}, &out)
 	if err != nil {
@@ -133,7 +136,7 @@ func (r *Rows) Close() error {
 		return nil
 	}
 	r.closed = true
-	err := r.c.post(r.ctx, "/v1/cursor/close", map[string]any{
+	err := r.c.postIdem(r.ctx, "/v1/cursor/close", map[string]any{
 		"session": r.c.session, "cursor": r.cursor,
 	}, nil)
 	var ae *APIError
