@@ -1,0 +1,186 @@
+// Command flock-repl-smoke drives a two-node flock deployment — a leader
+// and a read replica — through the Go SDK and exits non-zero on any
+// failure: the CI smoke for replication. It writes rows through the
+// leader, waits for the replica's applied LSN (flock_repl_apply_lsn) to
+// converge on the leader's WAL position (flock_wal_last_lsn), reads the
+// rows back through the replica (both directly and via the SDK's
+// read-endpoint routing), and asserts the replica rejects writes.
+//
+//	$ flock-serve -addr 127.0.0.1:8080 -data-dir /tmp/leader -rows 0 &
+//	$ flock-serve -addr 127.0.0.1:8081 -data-dir /tmp/replica \
+//	      -replica-of http://127.0.0.1:8080 &
+//	$ flock-repl-smoke -leader http://127.0.0.1:8080 -replica http://127.0.0.1:8081
+//
+// With -expect-chaos (the fault-armed CI variant: FLOCK_FAULTS=repl.ship
+// on the leader, repl.stream on the replica) it additionally requires the
+// failpoints to have fired — torn batches shipped, reconnects happened —
+// proving convergence survived real stream interruptions, not an
+// uneventful run.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/pkg/flockclient"
+)
+
+func main() {
+	leaderURL := ""
+	replicaURL := ""
+	rows := 500
+	expectChaos := false
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-leader":
+			i++
+			leaderURL = args[i]
+		case "-replica":
+			i++
+			replicaURL = args[i]
+		case "-rows":
+			i++
+			fmt.Sscanf(args[i], "%d", &rows)
+		case "-expect-chaos":
+			expectChaos = true
+		default:
+			log.Fatalf("flock-repl-smoke: unknown flag %q", args[i])
+		}
+	}
+	if leaderURL == "" || replicaURL == "" {
+		log.Fatal("flock-repl-smoke: -leader and -replica are required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// 1. Write through the leader via the SDK, read-endpoint routed at the
+	// replica (Query goes to the replica, Exec stays on the leader).
+	c, err := flockclient.Dial(ctx, leaderURL, "repl-smoke",
+		flockclient.WithReadEndpoint(replicaURL))
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: dial leader: %v", err)
+	}
+	defer c.Close(context.Background())
+	if _, err := c.Exec(ctx, "CREATE TABLE smoke (id int, v int)"); err != nil {
+		log.Fatalf("flock-repl-smoke: create: %v", err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO smoke VALUES (%d, %d)", i, i*7)); err != nil {
+			log.Fatalf("flock-repl-smoke: insert %d: %v", i, err)
+		}
+	}
+	fmt.Printf("wrote %d rows through the leader\n", rows)
+
+	// 2. Convergence: the replica's applied LSN must reach the leader's WAL
+	// position observed AFTER all writes — both scraped from /metrics.
+	target := scrapeGauge(leaderURL, "flock_wal_last_lsn")
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		// Tolerate scrape failures until the deadline: the SIGKILL CI
+		// variant restarts the replica process mid-poll.
+		applied, err := tryScrapeGauge(replicaURL, "flock_repl_apply_lsn")
+		if err == nil && applied >= target {
+			fmt.Printf("replica converged: applied LSN %.0f >= leader LSN %.0f\n", applied, target)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("flock-repl-smoke: replica stuck at LSN %.0f, leader at %.0f (scrape err: %v)", applied, target, err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	// 3. Read the rows back through the replica directly.
+	rc, err := flockclient.Dial(ctx, replicaURL, "repl-smoke-read")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: dial replica: %v", err)
+	}
+	defer rc.Close(context.Background())
+	res, err := rc.Exec(ctx, "SELECT count(*) AS n FROM smoke")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: replica count: %v", err)
+	}
+	if n, _ := res.Rows[0][0].(int64); int(n) != rows {
+		log.Fatalf("flock-repl-smoke: replica count = %v, want %d", res.Rows[0][0], rows)
+	}
+	fmt.Printf("replica serves %d rows\n", rows)
+
+	// 4. The read-endpoint-routed Query must agree (it hits the replica).
+	rs, err := c.Query(ctx, "SELECT id FROM smoke")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: routed query: %v", err)
+	}
+	seen := 0
+	for rs.Next() {
+		seen++
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatalf("flock-repl-smoke: routed scan: %v", err)
+	}
+	if seen != rows {
+		log.Fatalf("flock-repl-smoke: routed query saw %d rows, want %d", seen, rows)
+	}
+	fmt.Println("read-endpoint routing ok")
+
+	// 5. Writes on the replica are rejected, and the rejection is the
+	// read-only taxonomy (503 + actionable message), not a generic failure.
+	if _, err := rc.Exec(ctx, "INSERT INTO smoke VALUES (-1, 0)"); err == nil {
+		log.Fatal("flock-repl-smoke: replica accepted a write")
+	} else if !strings.Contains(err.Error(), "read-only") {
+		log.Fatalf("flock-repl-smoke: replica write rejection not read-only-shaped: %v", err)
+	}
+	fmt.Println("replica write rejection ok")
+
+	// 6. Chaos variant: the failpoints must actually have fired — a torn
+	// ship on the leader and/or stream drops (reconnects) on the replica.
+	if expectChaos {
+		torn := scrapeGauge(leaderURL, "flock_repl_ship_torn_total")
+		reconnects := scrapeGauge(replicaURL, "flock_repl_reconnects_total")
+		if torn == 0 && reconnects == 0 {
+			log.Fatal("flock-repl-smoke: -expect-chaos but no torn batches and no reconnects")
+		}
+		fmt.Printf("chaos ok: %.0f torn batches, %.0f reconnects survived\n", torn, reconnects)
+	}
+	fmt.Println("flock-repl-smoke: PASS")
+}
+
+// scrapeGauge fetches one gauge from a node's /metrics, fatally on any
+// transport failure (0 when the gauge is absent — callers compare against
+// known-positive targets).
+func scrapeGauge(baseURL, name string) float64 {
+	v, err := tryScrapeGauge(baseURL, name)
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: scrape %s: %v", baseURL, err)
+	}
+	return v
+}
+
+// tryScrapeGauge is scrapeGauge with the transport error returned instead
+// of fatal — the convergence poll rides through node restarts.
+func tryScrapeGauge(baseURL, name string) (float64, error) {
+	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+		if err == nil {
+			return v, nil
+		}
+	}
+	return 0, nil
+}

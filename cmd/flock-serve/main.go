@@ -19,6 +19,14 @@
 // history, deployed models, the query log and the audit chain — the demo
 // workload is seeded only on first boot. See docs/durability.md.
 //
+// With -data-dir the instance also serves the /v1/repl/* log-shipping
+// endpoints, so read replicas can attach at any time; -repl-ack=quorum
+// additionally holds each commit's ack until -repl-quorum followers
+// confirm. With -replica-of=<leader-url> the process runs as a read-only
+// replica instead: it streams the leader's WAL, applies it through the
+// recovery path, serves SELECT/PREDICT and cursor traffic, rejects writes
+// with 503, and gates /readyz on replication lag. See docs/replication.md.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
 // in-flight queries get a drain window, whatever remains is canceled
 // engine-wide at the next batch boundary, and a final checkpoint folds the
@@ -39,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/onnx"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -51,6 +60,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "per-query timeout ceiling")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session expiry")
+	sessionMaxLife := flag.Duration("session-max-life", 24*time.Hour, "hard session lifetime cap (expires even sessions holding cursors)")
 	cursorTTL := flag.Duration("cursor-ttl", 5*time.Minute, "idle server-side cursor expiry")
 	maxCursors := flag.Int("max-cursors", 16, "open server-side cursors per session")
 	planCache := flag.Int("plan-cache", 256, "prepared-plan LRU capacity")
@@ -64,6 +74,13 @@ func main() {
 	scorerBreakFails := flag.Int("scorer-breaker-failures", 5, "consecutive failures before the scorer circuit breaker opens")
 	scorerBreakCooldown := flag.Duration("scorer-breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
 	scorerFallback := flag.Bool("scorer-fallback", true, "fall back to the native in-process scorer when -scorer-url is unavailable")
+	replicaOf := flag.String("replica-of", "", "leader base URL; run as a read-only replica streaming its WAL (requires -data-dir)")
+	replicaID := flag.String("replica-id", "", "follower id reported in acks and leader status (default: the listen address)")
+	replToken := flag.String("repl-token", "", "shared replication token (leader: required from followers; replica: presented to the leader)")
+	maxReplicaLag := flag.Int64("max-replica-lag", 0, "replica readiness gate: /readyz turns 503 past this many frames of lag (0 = no lag gate)")
+	replAck := flag.String("repl-ack", "async", "leader ack policy: 'async' acks after local fsync, 'quorum' additionally waits for -repl-quorum follower acks")
+	replQuorum := flag.Int("repl-quorum", 1, "follower acks required per commit under -repl-ack=quorum")
+	replQuorumTimeout := flag.Duration("repl-quorum-timeout", 5*time.Second, "how long a commit waits for quorum before failing as ambiguous")
 	flag.Parse()
 
 	var syncWAL bool
@@ -76,10 +93,24 @@ func main() {
 		log.Fatalf("flock-serve: bad -wal-sync %q (want always|off)", *walSync)
 	}
 
+	replica := *replicaOf != ""
+	if replica && *dataDir == "" {
+		log.Fatal("flock-serve: -replica-of requires -data-dir (the replica's own WAL and snapshot live there)")
+	}
+
 	var flock *core.Flock
 	var dur *core.Durability
 	var err error
-	if *dataDir != "" {
+	switch {
+	case replica:
+		flock, dur, err = core.OpenDirReplica(*dataDir, *replicaOf, core.DurabilityOptions{WALSync: syncWAL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := dur.Recovery()
+		fmt.Printf("flock-serve: replica of %s, recovered %s (snapshot=%t, %d WAL records replayed) applied_lsn=%d\n",
+			*replicaOf, *dataDir, rec.SnapshotLoaded, rec.Records, flock.DB.AppliedLSN())
+	case *dataDir != "":
 		flock, dur, err = core.OpenDir(*dataDir, core.DurabilityOptions{WALSync: syncWAL})
 		if err != nil {
 			log.Fatal(err)
@@ -89,7 +120,7 @@ func main() {
 			fmt.Printf("flock-serve: recovered %s (snapshot=%t, %d WAL records replayed, torn tail=%t) in %s\n",
 				*dataDir, rec.SnapshotLoaded, rec.Records, rec.TornTail, rec.Duration.Round(time.Millisecond))
 		}
-	} else {
+	default:
 		flock, err = core.New()
 		if err != nil {
 			log.Fatal(err)
@@ -100,23 +131,26 @@ func main() {
 
 	// Demo workload: the Figure-4 scoring table plus a deployed churn model.
 	// A recovered data directory already holds both, so seed only what is
-	// missing (first boot, or an in-memory instance).
-	if _, terr := flock.DB.Table("customers"); terr != nil {
-		if err := workload.LoadScoringTable(flock.DB, workload.ScoringConfig{
-			Rows: *rows, Seed: 7, Regions: 6, WithText: true,
-		}); err != nil {
-			log.Fatal(err)
+	// missing (first boot, or an in-memory instance). A replica seeds
+	// nothing: every row and model arrives from the leader's log.
+	if !replica {
+		if _, terr := flock.DB.Table("customers"); terr != nil {
+			if err := workload.LoadScoringTable(flock.DB, workload.ScoringConfig{
+				Rows: *rows, Seed: 7, Regions: 6, WithText: true,
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
-	}
-	if _, gerr := flock.Models.GraphFor("churn"); gerr != nil {
-		pipe, err := workload.TrainScoringPipeline(4000, 42, 50, true)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := flock.DeployPipeline("flock-serve", "churn", pipe, core.TrainingInfo{
-			Script: "flock-serve bootstrap", Tables: []string{"customers"},
-		}); err != nil {
-			log.Fatal(err)
+		if _, gerr := flock.Models.GraphFor("churn"); gerr != nil {
+			pipe, err := workload.TrainScoringPipeline(4000, 42, 50, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := flock.DeployPipeline("flock-serve", "churn", pipe, core.TrainingInfo{
+				Script: "flock-serve bootstrap", Tables: []string{"customers"},
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -126,6 +160,7 @@ func main() {
 		DefaultTimeout:       *timeout,
 		MaxTimeout:           *maxTimeout,
 		SessionTTL:           *sessionTTL,
+		SessionMaxLifetime:   *sessionMaxLife,
 		CursorTTL:            *cursorTTL,
 		MaxCursorsPerSession: *maxCursors,
 		PlanCacheSize:        *planCache,
@@ -169,9 +204,12 @@ func main() {
 	srv := server.New(flock, cfg) // breaker gauges ride /metrics natively
 
 	// Baseline the score monitor on the deployed model's training-time
-	// distribution so /metrics exports drift state from the start.
-	if mon := baselineMonitor(flock); mon != nil {
-		srv.AttachMonitor(mon)
+	// distribution so /metrics exports drift state from the start. A
+	// replica skips it: its model arrives later from the leader's log.
+	if !replica {
+		if mon := baselineMonitor(flock); mon != nil {
+			srv.AttachMonitor(mon)
+		}
 	}
 
 	if dur != nil {
@@ -182,11 +220,67 @@ func main() {
 		srv.AttachReopen(dur.Reopen)
 	}
 
+	// Replication wiring. A primary with a data directory always exposes
+	// the leader endpoints (followers may attach at any time); under
+	// -repl-ack=quorum the commit gate additionally holds client acks until
+	// enough followers confirm. A replica runs the follower loop instead
+	// and gates /readyz on connection and lag.
+	replCtx, replCancel := context.WithCancel(context.Background())
+	defer replCancel()
+	switch {
+	case replica:
+		id := *replicaID
+		if id == "" {
+			id = *addr
+		}
+		follower := repl.NewFollower(flock.DB, *replicaOf, repl.FollowerOptions{
+			ID:    id,
+			Token: *replToken,
+			// Refresh the model registry (and thereby invalidate cached
+			// plans via its generation counter) as shipped frames land.
+			OnApplied: func() {
+				if err := flock.RefreshModels(); err != nil {
+					log.Printf("flock-serve: replica model refresh failed: %v", err)
+				}
+			},
+		})
+		srv.AttachReplicationFollower(follower)
+		srv.AttachReadiness(func() error {
+			if !follower.Connected() {
+				return fmt.Errorf("replica: not connected to leader %s: %s", *replicaOf, follower.LastError())
+			}
+			if *maxReplicaLag > 0 && follower.Lag() > *maxReplicaLag {
+				return fmt.Errorf("replica: %d frames behind the leader (max %d)", follower.Lag(), *maxReplicaLag)
+			}
+			return nil
+		})
+		go func() { _ = follower.Run(replCtx) }()
+	case *dataDir != "":
+		opts := repl.Options{Token: *replToken, AckTimeout: *replQuorumTimeout}
+		switch *replAck {
+		case "async":
+		case "quorum":
+			opts.Quorum = *replQuorum
+		default:
+			log.Fatalf("flock-serve: bad -repl-ack %q (want async|quorum)", *replAck)
+		}
+		leader := repl.NewLeader(flock.DB, opts)
+		srv.AttachReplicationLeader(leader)
+		if opts.Quorum > 0 {
+			flock.DB.SetCommitGate(leader.Gate)
+			fmt.Printf("flock-serve: quorum acks enabled (%d follower(s), timeout %s)\n", opts.Quorum, *replQuorumTimeout)
+		}
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
 	// Give the listener a beat to bind so the banner prints the truth.
 	time.Sleep(50 * time.Millisecond)
-	fmt.Printf("flock-serve: %d customers, model 'churn' deployed, listening on %s\n", *rows, *addr)
+	if replica {
+		fmt.Printf("flock-serve: read-only replica of %s, listening on %s\n", *replicaOf, *addr)
+	} else {
+		fmt.Printf("flock-serve: %d customers, model 'churn' deployed, listening on %s\n", *rows, *addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -197,6 +291,7 @@ func main() {
 		}
 	case <-sig:
 		fmt.Println("flock-serve: shutting down...")
+		replCancel() // stop the follower loop before the final checkpoint
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		err := srv.Shutdown(ctx)

@@ -63,9 +63,31 @@ type Durability struct {
 // runs the returned Durability's checkpointer (Run) and must Close it on
 // shutdown for a final checkpoint.
 func OpenDir(dir string, opts DurabilityOptions) (*Flock, *Durability, error) {
+	return openDir(dir, opts, "")
+}
+
+// OpenDirReplica opens dir as a read-only replica of the leader at
+// leaderURL: identical recovery (snapshot + WAL replay restores whatever
+// frames were already shipped), but the engine is placed in replica mode
+// before the facade assembles — writes fail fast with engine.ErrReadOnly,
+// the model system table is never created locally (the leader's own create
+// arrives as a shipped frame), and the only accepted mutations are
+// replicated frames. The audit chain stays per-node: a replica audits its
+// own read traffic into its own audit.log.
+func OpenDirReplica(dir, leaderURL string, opts DurabilityOptions) (*Flock, *Durability, error) {
+	if leaderURL == "" {
+		return nil, nil, fmt.Errorf("core: OpenDirReplica requires a leader URL")
+	}
+	return openDir(dir, opts, leaderURL)
+}
+
+func openDir(dir string, opts DurabilityOptions, replicaOf string) (*Flock, *Durability, error) {
 	db, info, err := engine.OpenDirDB(dir, opts.WALSync)
 	if err != nil {
 		return nil, nil, err
+	}
+	if replicaOf != "" {
+		db.SetReplicaMode(replicaOf)
 	}
 	f, err := newFromDB(db)
 	if err != nil {

@@ -76,6 +76,13 @@ func NewModelRegistry(db *engine.DB) (*ModelRegistry, error) {
 		}
 		return r, nil
 	}
+	if db.IsReplica() {
+		// A replica must not create the system table itself: its WAL holds
+		// exactly the leader's frame sequence, and the leader's own create
+		// will arrive as a shipped frame. Start empty; the replication
+		// OnApplied hook refreshes the registry once rows exist.
+		return r, nil
+	}
 	_, err := db.CreateTable(modelsTable, engine.Schema{
 		{Name: "name", Type: engine.TypeString},
 		{Name: "version", Type: engine.TypeInt},
@@ -351,4 +358,15 @@ func (r *ModelRegistry) LoadPersisted() error {
 	}
 	r.gen++
 	return nil
+}
+
+// RefreshModels reloads the registry from the persisted system table — the
+// replication OnApplied hook, so a replica picks up models deployed on the
+// leader as soon as their rows ship. A no-op before the system table's own
+// create frame has arrived.
+func (f *Flock) RefreshModels() error {
+	if _, err := f.DB.Table(modelsTable); err != nil {
+		return nil
+	}
+	return f.Models.LoadPersisted()
 }

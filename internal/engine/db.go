@@ -46,6 +46,22 @@ type DB struct {
 	walSync   bool // the fsync policy OpenDirDB attached the WAL with (ReopenWAL reuses it)
 	replayLSN int64
 	ckptMu    sync.Mutex
+	// walHorizon is the highest LSN folded into the on-disk snapshot:
+	// frames at or below it are no longer on disk, so log shipping from
+	// below the horizon must bootstrap from the snapshot instead. Guarded
+	// by ckptMu (every writer holds it; OpenDirDB writes pre-publication).
+	walHorizon int64
+	// replica, when non-nil, marks this database a read-only replica: local
+	// writes fail with ErrReadOnly and the only accepted mutations are
+	// shipped WAL frames (ApplyReplicated / BootstrapReplica).
+	replica atomic.Pointer[replicaState]
+	// applyMu serializes replica-side frame application and bootstrap (the
+	// follower loop is single-threaded, but the invariant should not depend
+	// on it).
+	applyMu sync.Mutex
+	// commitGate, when set, runs after local durability and before a commit
+	// is acknowledged — the quorum-replication ack wait (SetCommitGate).
+	commitGate atomic.Pointer[func(lsn int64) error]
 	// degraded, when non-nil, marks read-only degraded mode: the WAL is
 	// poisoned, writes fail fast with ErrReadOnly, reads keep serving. Set
 	// by noteWALErr, cleared by a successful ReopenWAL.
@@ -195,7 +211,9 @@ func (db *DB) QueryLog() []LogEntry {
 // never forces an fsync of its own: the query log is provenance metadata,
 // so its tail riding on the next committed DML record's sync (or being
 // lost with an unacknowledged crash window) is an acceptable trade against
-// paying one fsync per SELECT.
+// paying one fsync per SELECT. On a replica the entry stays in memory
+// only: the replica's WAL is a byte-for-byte copy of the leader's frame
+// sequence, and interleaving local frames would desynchronize its LSNs.
 func (db *DB) appendLog(text, user string) {
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
@@ -204,7 +222,33 @@ func (db *DB) appendLog(text, user string) {
 	db.logSeq++
 	e := LogEntry{Seq: db.logSeq, Text: text, User: user, At: time.Now()}
 	db.log = append(db.log, e)
+	if db.IsReplica() {
+		return
+	}
 	_ = db.walAppend(&WALRecord{Kind: WALLog, Entry: &e}, false)
+}
+
+// installCreate registers a replayed or replicated CREATE TABLE without
+// WAL-logging it — the record already exists in the log being applied.
+func (db *DB) installCreate(name string, schema Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("engine: table %q already exists", name)
+	}
+	db.tables[name] = NewTable(name, schema)
+	return nil
+}
+
+// installDrop is installCreate's DROP TABLE sibling.
+func (db *DB) installDrop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
 }
 
 // commitAppend applies a batch append and its WAL record as one committed

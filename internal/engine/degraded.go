@@ -52,6 +52,9 @@ func (db *DB) DegradedSince() time.Time {
 // checkWritable is the write-path gate: nil when healthy, a fast typed
 // error once degraded. One atomic load on the happy path.
 func (db *DB) checkWritable() error {
+	if r := db.replica.Load(); r != nil {
+		return fmt.Errorf("%w: read-only replica of %s; route writes to the leader", ErrReadOnly, r.leader)
+	}
 	s := db.degraded.Load()
 	if s == nil {
 		return nil
@@ -136,6 +139,7 @@ func (db *DB) ReopenWAL() error {
 	}
 	db.wal = w
 	db.retiredWAL = nil
+	db.walHorizon = snap.LSN // the old log and segments are gone
 	db.degraded.Store(nil)
 	return nil
 }
@@ -155,4 +159,5 @@ func (w *WAL) discard() {
 		w.syncErr = fmt.Errorf("%w: log discarded by reopen", ErrWALPoisoned)
 	}
 	w.cond.Broadcast()
+	w.notifyLocked()
 }

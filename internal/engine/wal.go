@@ -162,6 +162,11 @@ type WAL struct {
 	syncing   bool  // a leader's fsync is in flight
 	syncErr   error // sticky fsync failure (fsync errors are not retryable)
 
+	// watch, when non-nil, is closed (and discarded) the next time the
+	// durable watermark advances or the WAL fails — the log shipper's
+	// tailing wakeup (see DB.WatchDurable). Lazily created per wait round.
+	watch chan struct{}
+
 	// Group-commit accounting counts only durable-commit records (DML/DDL);
 	// WALLog query-log frames ride the same fsyncs but asking for no
 	// durability of their own, they would inflate the amortization gauge.
@@ -239,6 +244,11 @@ func (w *WAL) appendFrame(rec *WALRecord, durable bool) (int64, error) {
 	if durable {
 		w.durableAppended++
 	}
+	if !w.sync {
+		// Without the fsync policy the append position IS the durable
+		// watermark: wake tailing shippers immediately.
+		w.notifyLocked()
+	}
 	return w.lsn, nil
 }
 
@@ -253,7 +263,16 @@ func (w *WAL) poisonLocked(cause error) error {
 		w.syncErr = fmt.Errorf("%w: %w", ErrWALPoisoned, cause)
 	}
 	w.cond.Broadcast()
+	w.notifyLocked()
 	return w.syncErr
+}
+
+// notifyLocked (w.mu held) wakes durable-watermark watchers.
+func (w *WAL) notifyLocked() {
+	if w.watch != nil {
+		close(w.watch)
+		w.watch = nil
+	}
 }
 
 // poisonedErrLocked (w.mu held) is the error commits see once the WAL is
@@ -320,6 +339,7 @@ func (w *WAL) waitDurable(lsn int64) error {
 			w.groupRecords += durableTarget - w.durableSynced
 			w.durableSynced = durableTarget
 			w.syncedLSN = target
+			w.notifyLocked()
 		}
 		w.cond.Broadcast()
 	}
@@ -396,6 +416,7 @@ func (w *WAL) rotate() (segment string, err error) {
 	w.syncedLSN = w.lsn
 	w.durableSynced = w.durableAppended
 	w.cond.Broadcast()
+	w.notifyLocked()
 	return segment, nil
 }
 
@@ -420,6 +441,7 @@ func (w *WAL) close() error {
 	}
 	w.f = nil
 	w.cond.Broadcast()
+	w.notifyLocked()
 	return err
 }
 
@@ -505,6 +527,10 @@ func OpenDirDB(dir string, syncWAL bool) (*DB, RecoveryInfo, error) {
 	db.durDir = dir
 	db.walSync = syncWAL
 	db.commitMu.Unlock()
+	// Everything at or below info.LSN is covered by the consolidated
+	// snapshot (or by nothing, on a fresh directory where info.LSN is 0):
+	// that is the shipping horizon until the next checkpoint moves it.
+	db.walHorizon = info.LSN
 	info.Duration = time.Since(start)
 	return db, info, nil
 }
@@ -587,18 +613,21 @@ func (db *DB) replayWAL(r io.Reader) (applied, skipped int, torn bool, err error
 	return applied, skipped, torn, err
 }
 
-// applyWALRecord re-executes one committed statement's physical effect.
-// Replay runs single-threaded before the WAL is attached, so the regular
-// table primitives (which bump versions and record time-travel history
-// exactly as the original commit did) are used directly.
+// applyWALRecord re-executes one committed statement's physical effect
+// through non-logging install primitives (which bump versions and record
+// time-travel history exactly as the original commit did, but never write
+// the WAL). Two callers share it: boot replay, single-threaded before the
+// WAL is attached, and the replica apply path, where the frame was already
+// appended verbatim at the leader's LSN — in both, re-logging would either
+// double the record or assign it a divergent LSN.
 func (db *DB) applyWALRecord(rec *WALRecord) error {
 	switch rec.Kind {
 	case WALCreate:
-		if _, err := db.CreateTable(rec.Table, rec.Schema); err != nil {
+		if err := db.installCreate(rec.Table, rec.Schema); err != nil {
 			return err
 		}
 	case WALDrop:
-		if err := db.DropTable(rec.Table); err != nil {
+		if err := db.installDrop(rec.Table); err != nil {
 			return err
 		}
 	case WALInsert:
@@ -662,6 +691,10 @@ func (db *DB) Checkpoint() error {
 	if err := writeSnapshotFile(filepath.Join(db.durDir, snapshotFile), snap); err != nil {
 		return err
 	}
+	// Frames at or below snap.LSN are folded: followers behind this point
+	// must bootstrap from the snapshot instead (ckptMu is held throughout,
+	// so no ReadWALSince can observe the horizon ahead of the retirement).
+	db.walHorizon = snap.LSN
 	// The snapshot covers every rotated segment (snap.LSN >= their records);
 	// the live log holds only newer commits.
 	entries, err := os.ReadDir(db.durDir)
@@ -771,6 +804,11 @@ func (db *DB) walAppend(rec *WALRecord, durable bool) error {
 	}
 	err := db.wal.append(rec, durable)
 	db.noteWALErr(err)
+	if err == nil && durable {
+		// Quorum acks ride the DDL path inline (rare, already serialized):
+		// the record is locally durable, now wait for follower acks.
+		err = db.waitCommitGate(rec.LSN)
+	}
 	return err
 }
 
@@ -798,17 +836,23 @@ func (db *DB) walWaitDurable(lsn int64) error {
 		return nil
 	}
 	db.commitMu.RLock()
-	defer db.commitMu.RUnlock()
 	w := db.wal
 	if w == nil {
 		w = db.retiredWAL
 	}
 	if w == nil {
+		db.commitMu.RUnlock()
 		return nil
 	}
 	err := w.waitDurable(lsn)
 	db.noteWALErr(err)
-	return err
+	db.commitMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	// The commit gate (quorum replication acks) runs OUTSIDE the commit
+	// barrier: a slow follower must delay acks, not block checkpoints.
+	return db.waitCommitGate(lsn)
 }
 
 // WALGroupCommitStats reports completed group-commit fsyncs and the records

@@ -297,6 +297,13 @@ var errCursorExpired = errors.New("cursor expired or closed; re-run the query")
 func (s *Server) resolveCursor(sessID, curID string) (*session, *serverCursor, int, error) {
 	sess, ok := s.sessions.get(sessID)
 	if !ok {
+		// The session may have just been expired (idle TTL or the hard
+		// lifetime cap), which retires its cursors. The owner presenting the
+		// dead pair still gets the precise 410 — this cursor is gone for
+		// good — rather than a generic auth error inviting a blind retry.
+		if _, state := s.cursors.get(curID, sessID); state == cursorGone {
+			return nil, nil, http.StatusGone, errCursorExpired
+		}
 		return nil, nil, http.StatusUnauthorized, errors.New("unknown or expired session")
 	}
 	c, state := s.cursors.get(curID, sess.id)

@@ -498,3 +498,44 @@ func TestCursorFetchCancellationKeepsCursor(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/cursor/close", map[string]any{"session": sid, "cursor": curID})
 	waitForCursorsClosed(t)
 }
+
+// TestSessionMaxLifetimeCap pins the hard lifetime cap: a session that
+// stays active AND holds an open cursor — both of which exempt it from the
+// idle TTL — is still expired once it outlives SessionMaxLifetime, and a
+// late fetch on its cursor gets the distinct 410 tombstone, not a 404.
+func TestSessionMaxLifetimeCap(t *testing.T) {
+	_, ts := newTestServer(t, 2000, Config{
+		SessionTTL:         600 * time.Millisecond, // sweeper ticks every second
+		CursorTTL:          time.Hour,              // cursor TTL must not be what kills it
+		SessionMaxLifetime: 1500 * time.Millisecond,
+	})
+	sid := openSession(t, ts.URL, "root")
+	_, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"session": sid, "sql": "SELECT id FROM customers", "cursor": true,
+	})
+	curID := body["cursor"].(string)
+
+	// Stay active the whole time: the cap must fire on age, not idleness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"session": sid, "sql": "SELECT count(*) FROM customers"})
+		if resp.StatusCode == http.StatusUnauthorized {
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query while waiting for cap: %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session outlived its max lifetime cap")
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/cursor/fetch", map[string]any{
+		"session": sid, "cursor": curID, "max_rows": 1,
+	})
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("fetch after max-lifetime expiry: want 410, got %d %v", resp.StatusCode, body)
+	}
+	waitForCursorsClosed(t)
+}

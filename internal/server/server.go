@@ -51,6 +51,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/onnx"
 	"repro/internal/opt"
+	"repro/internal/repl"
 	sqlpkg "repro/internal/sql"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	// open server-side cursors are not reaped (CursorTTL expires those
 	// first).
 	SessionTTL time.Duration
+	// SessionMaxLifetime hard-caps a session's total lifetime: past it the
+	// session expires even while holding open cursors or running queries,
+	// and its cursors answer subsequent fetches with the 410 tombstone.
+	// Bounds the cursor exemption from SessionTTL so an abandoned session
+	// with an open cursor cannot pin server state forever. Defaults to 24h.
+	SessionMaxLifetime time.Duration
 	// CursorTTL expires idle server-side cursors; defaults to 5m.
 	CursorTTL time.Duration
 	// MaxCursorsPerSession bounds open server-side cursors per session;
@@ -113,6 +120,9 @@ func (c Config) normalize() Config {
 	}
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 30 * time.Minute
+	}
+	if c.SessionMaxLifetime <= 0 {
+		c.SessionMaxLifetime = 24 * time.Hour
 	}
 	if c.CursorTTL <= 0 {
 		c.CursorTTL = 5 * time.Minute
@@ -164,6 +174,12 @@ type Server struct {
 	// counts the fold as a checkpoint).
 	reopenMu sync.Mutex
 	reopenFn func() error
+
+	// readyChecks extend /readyz beyond the degraded-mode probe (e.g. the
+	// replica-mode lag gate); any check returning an error flips readiness
+	// to 503 with its message.
+	readyMu     sync.Mutex
+	readyChecks []func() error
 }
 
 // New assembles a server over flock. Call Serve/ListenAndServe to accept
@@ -179,10 +195,16 @@ func New(flock *core.Flock, cfg Config) *Server {
 		cancelBase: cancel,
 		met:        newMetrics(),
 	}
-	s.sessions = newSessionStore(base, cfg.SessionTTL)
+	s.sessions = newSessionStore(base, cfg.SessionTTL, cfg.SessionMaxLifetime)
 	s.adm = newAdmission(cfg.MaxWorkers, cfg.MaxQueue, s.met)
 	s.plans = newPlanCache(cfg.PlanCacheSize, s.met)
 	s.cursors = newCursorStore(cfg.CursorTTL, cfg.MaxCursorsPerSession, &s.met.cursorsExpired)
+	// A session hitting the hard lifetime cap retires its cursors, so a
+	// fetch on one answers 410 (gone) instead of 404 (never existed). Set
+	// under the store lock: its sweeper is already ticking.
+	s.sessions.mu.Lock()
+	s.sessions.onExpire = func(sess *session) { s.cursors.closeForSession(sess.id) }
+	s.sessions.mu.Unlock()
 
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
@@ -239,6 +261,31 @@ func (s *Server) AttachReopen(fn func() error) {
 	s.reopenMu.Unlock()
 }
 
+// AttachReadiness adds a readiness check to /readyz: any check returning
+// an error makes the probe answer 503 with the message. Used by replica
+// mode to gate readiness on replication lag, so load balancers stop
+// routing reads to a follower that has fallen too far behind.
+func (s *Server) AttachReadiness(check func() error) {
+	s.readyMu.Lock()
+	s.readyChecks = append(s.readyChecks, check)
+	s.readyMu.Unlock()
+}
+
+// AttachReplicationLeader mounts the leader replication endpoints
+// (/v1/repl/wal, /v1/repl/snapshot, /v1/repl/ack, /v1/repl/status) and
+// exports the leader-side replication gauges on /metrics.
+func (s *Server) AttachReplicationLeader(l *repl.Leader) {
+	l.Register(s.mux)
+	s.AttachGauges(l.Gauges)
+}
+
+// AttachReplicationFollower exposes the follower's replication status on
+// /v1/repl/status and its gauges (apply LSN, lag, reconnects) on /metrics.
+func (s *Server) AttachReplicationFollower(f *repl.Follower) {
+	s.mux.HandleFunc("GET "+repl.PathStatus, f.HandleStatus)
+	s.AttachGauges(f.Gauges)
+}
+
 // handleReadyz is the readiness probe: 200 while the instance accepts
 // writes, 503 with the degradation reason once the WAL is poisoned and the
 // DB is read-only. Load balancers route writes away on 503; /healthz stays
@@ -249,6 +296,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			"status": "degraded", "mode": "read-only", "reason": reason,
 		})
 		return
+	}
+	s.readyMu.Lock()
+	checks := append([]func() error(nil), s.readyChecks...)
+	s.readyMu.Unlock()
+	for _, check := range checks {
+		if err := check(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "not-ready", "reason": err.Error(),
+			})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
@@ -644,6 +702,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if down, _ := s.flock.DB.Degraded(); down {
 		gauges["flock_degraded_mode"], gauges["flock_wal_poisoned"] = 1, 1
 	}
+	// Log position and durable watermark: what replication lag is measured
+	// against (a follower's flock_repl_apply_lsn converging to the
+	// leader's flock_wal_last_lsn is the smoke-test invariant).
+	gauges["flock_wal_last_lsn"] = float64(s.flock.DB.LastLSN())
+	gauges["flock_wal_durable_lsn"] = float64(s.flock.DB.DurableLSN())
 	gauges["flock_retry_after_seconds"] = float64(s.retryAfterSeconds())
 	// Scorer resilience: per-endpoint circuit-breaker state plus the
 	// process-wide retry/fallback counters (present even before the first
@@ -944,6 +1007,12 @@ func classifyErr(err error) (int, string) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		return http.StatusServiceUnavailable, "rejected"
+	case errors.Is(err, repl.ErrQuorumTimeout):
+		// The write is locally durable and installed but a follower quorum
+		// did not ack in time: an ambiguous commit, like a response lost on
+		// the wire. 503 (not 400) so clients treat it as a timeout; the SDK
+		// never auto-retries writes, so no duplication risk.
+		return http.StatusServiceUnavailable, "quorum-timeout"
 	case errors.Is(err, engine.ErrReadOnly) || errors.Is(err, engine.ErrWALPoisoned):
 		// The instance degraded to read-only (poisoned WAL): the write is
 		// refused but the condition is the server's, not the request's. 503

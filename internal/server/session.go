@@ -38,16 +38,23 @@ func (s *session) end()   { s.inflight.Add(-1); s.touch() }
 
 // sessionStore holds live sessions and expires idle ones after the TTL.
 type sessionStore struct {
-	mu       sync.Mutex
-	m        map[string]*session
-	ttl      time.Duration
+	mu  sync.Mutex
+	m   map[string]*session
+	ttl time.Duration
+	// maxLife is the hard lifetime cap: past it a session expires even
+	// while holding cursors or with queries in flight. The cursor
+	// exemption from the idle TTL is bounded, not a pin-forever lease.
+	maxLife time.Duration
+	// onExpire runs (outside the lock) for each swept session — the hook
+	// that tombstones its open cursors so later fetches get the 410.
+	onExpire func(*session)
 	base     context.Context
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-func newSessionStore(base context.Context, ttl time.Duration) *sessionStore {
-	st := &sessionStore{m: map[string]*session{}, ttl: ttl, base: base, stop: make(chan struct{})}
+func newSessionStore(base context.Context, ttl, maxLife time.Duration) *sessionStore {
+	st := &sessionStore{m: map[string]*session{}, ttl: ttl, maxLife: maxLife, base: base, stop: make(chan struct{})}
 	go st.sweep()
 	return st
 }
@@ -115,7 +122,12 @@ func (st *sessionStore) closeAll() {
 
 func (st *sessionStore) stopSweeper() { st.stopOnce.Do(func() { close(st.stop) }) }
 
-// sweep expires sessions idle past the TTL.
+// sweep expires sessions idle past the TTL, and — regardless of open
+// cursors or in-flight queries — any session older than the hard
+// max-lifetime cap. Without the cap, a session holding one abandoned
+// cursor would pin server state forever (the cursor exempts it from the
+// idle TTL); with it, expiry cancels the session context, the onExpire
+// hook retires its cursors, and later fetches get the 410 tombstone.
 func (st *sessionStore) sweep() {
 	interval := st.ttl / 4
 	if interval < time.Second {
@@ -128,18 +140,26 @@ func (st *sessionStore) sweep() {
 		case <-st.stop:
 			return
 		case <-t.C:
-			cutoff := time.Now().Add(-st.ttl).UnixNano()
+			now := time.Now()
+			cutoff := now.Add(-st.ttl).UnixNano()
+			born := now.Add(-st.maxLife)
 			st.mu.Lock()
 			var expired []*session
 			for id, s := range st.m {
-				if s.inflight.Load() == 0 && s.cursors.Load() == 0 && s.lastUsed.Load() < cutoff {
+				tooOld := st.maxLife > 0 && s.created.Before(born)
+				idle := s.inflight.Load() == 0 && s.cursors.Load() == 0 && s.lastUsed.Load() < cutoff
+				if tooOld || idle {
 					expired = append(expired, s)
 					delete(st.m, id)
 				}
 			}
+			onExpire := st.onExpire
 			st.mu.Unlock()
 			for _, s := range expired {
 				s.cancel()
+				if onExpire != nil {
+					onExpire(s)
+				}
 			}
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -95,6 +96,12 @@ type Client struct {
 	level     string
 	retryMax  int
 	retryBase time.Duration
+
+	// Read-endpoint routing (WithReadEndpoint): reads go to a replica
+	// through a lazily dialed sub-client, with fallback to the primary.
+	readURL string
+	readMu  sync.Mutex
+	readC   *Client
 }
 
 // Option configures Dial.
@@ -127,6 +134,21 @@ func WithBatchRows(n int) Option {
 // "full") on every query; the default lets the server choose.
 func WithLevel(level string) Option {
 	return func(c *Client) { c.level = level }
+}
+
+// WithReadEndpoint routes read traffic — Query, Predict, PredictAbove,
+// and the cursor fetches behind them — to a read replica at url (a
+// flock-serve -replica-of instance), while Exec and prepared statements
+// (whose handles live in the primary's plan cache) keep going to the
+// primary. The replica session is dialed
+// lazily on the first read; when the replica is unreachable or answers
+// with a transient error (down, degraded, lagging), the read falls back
+// to the primary transparently. Replicas apply the leader's log
+// asynchronously, so routed reads are eventually consistent: a row
+// written through Exec appears on the replica after the replication lag,
+// not instantly.
+func WithReadEndpoint(url string) Option {
+	return func(c *Client) { c.readURL = strings.TrimRight(url, "/") }
 }
 
 // WithRetry enables bounded retry with exponential backoff for transient
@@ -176,8 +198,15 @@ func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, e
 }
 
 // Close deletes the server-side session (which also releases any cursors
-// it still holds).
+// it still holds), including the read-endpoint session if one was dialed.
 func (c *Client) Close(ctx context.Context) error {
+	c.readMu.Lock()
+	rc := c.readC
+	c.readC = nil
+	c.readMu.Unlock()
+	if rc != nil {
+		_ = rc.Close(ctx) // best-effort: the replica session dies with its TTL anyway
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/sessions/"+c.session, nil)
 	if err != nil {
 		return err
@@ -248,8 +277,53 @@ func (c *Client) Exec(ctx context.Context, sql string) (*Result, error) {
 // Query opens a server-side cursor over a SELECT and returns a Rows
 // iterator that fetches pages lazily. The caller must Close the Rows (or
 // drain it to completion); abandoning it leaves the server cursor to its
-// TTL.
+// TTL. With WithReadEndpoint configured, the query (and the cursor behind
+// it) runs on the read replica, falling back to the primary when the
+// replica is unreachable or sheds the request.
 func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
+	if rc := c.readClient(ctx); rc != nil {
+		rows, err := rc.queryHere(ctx, sql)
+		if err == nil {
+			return rows, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		// The replica shed the read (down, degraded, or lagging past its
+		// readiness gate): serve it from the primary instead.
+	}
+	return c.queryHere(ctx, sql)
+}
+
+// readClient lazily dials the configured read endpoint, returning nil when
+// none is configured or the dial fails (the caller then uses the primary;
+// the next read retries the dial).
+func (c *Client) readClient(ctx context.Context) *Client {
+	if c.readURL == "" || c.readURL == c.base {
+		return nil
+	}
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	if c.readC != nil {
+		return c.readC
+	}
+	rc, err := Dial(ctx, c.readURL, c.user, func(n *Client) {
+		n.hc = c.hc
+		n.token = c.token
+		n.batchRows = c.batchRows
+		n.level = c.level
+		n.retryMax = c.retryMax
+		n.retryBase = c.retryBase
+	})
+	if err != nil {
+		return nil
+	}
+	c.readC = rc
+	return rc
+}
+
+// queryHere opens the cursor on this client's own endpoint (no routing).
+func (c *Client) queryHere(ctx context.Context, sql string) (*Rows, error) {
 	body := map[string]any{"session": c.session, "sql": sql, "cursor": true}
 	if c.level != "" {
 		body["level"] = c.level
