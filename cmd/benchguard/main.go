@@ -95,7 +95,7 @@ func parseBench(path string) (map[string]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		r = f
 	}
 	results := map[string]Result{}

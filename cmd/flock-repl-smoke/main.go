@@ -95,7 +95,11 @@ func main() {
 		if time.Now().After(deadline) {
 			log.Fatalf("flock-repl-smoke: replica stuck at LSN %.0f, leader at %.0f (scrape err: %v)", applied, target, err)
 		}
-		time.Sleep(250 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			log.Fatalf("flock-repl-smoke: canceled waiting for convergence at LSN %.0f of %.0f: %v", applied, target, ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
 	}
 
 	// 3. Read the rows back through the replica directly.

@@ -1,0 +1,216 @@
+// Command flock-vet runs the internal/lint invariant suite — the
+// mechanical form of the durability, concurrency, and resilience
+// contracts PRs 2–7 established (see docs/invariants.md).
+//
+// Two modes share the same analyzers:
+//
+// Standalone, over package patterns (what `make lint` and the meta-test
+// run):
+//
+//	$ go run ./cmd/flock-vet ./...
+//
+// As a vet tool, speaking cmd/go's vet.cfg protocol (what CI runs, so
+// results ride go's build cache):
+//
+//	$ go build -o flock-vet ./cmd/flock-vet
+//	$ go vet -vettool=$PWD/flock-vet ./...
+//
+// Exit status is non-zero when any finding survives //flockvet:ignore
+// filtering. Diagnostics print one per line as
+// file:line:col: message (analyzer).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		if a == "-V=full" {
+			printVersion()
+			return
+		}
+		if a == "-flags" {
+			// cmd/go probes the tool's flag schema before running it;
+			// this suite takes no analyzer flags.
+			fmt.Println("[]")
+			return
+		}
+		if a == "-h" || a == "-help" || a == "--help" {
+			printHelp()
+			return
+		}
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		os.Exit(runVetTool(args[n-1]))
+	}
+	os.Exit(runPatterns(args))
+}
+
+// printVersion implements the `-V=full` handshake cmd/go uses to key
+// its vet cache: a single line whose second field is "version" and
+// whose remainder uniquely identifies this build. Hashing our own
+// executable means rebuilding flock-vet (new analyzers, changed rules)
+// invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("flock-vet version v1.0.0-%x\n", h.Sum(nil)[:6])
+}
+
+func printHelp() {
+	fmt.Println("flock-vet: the flock invariant suite")
+	fmt.Println()
+	fmt.Println("usage: flock-vet [package patterns]     (default ./...)")
+	fmt.Println("       go vet -vettool=$(which flock-vet) ./...")
+	fmt.Println()
+	fmt.Println("Suppress a finding with //flockvet:ignore <analyzer> <reason>")
+	fmt.Println("on the flagged line or the line above it.")
+	fmt.Println()
+	fmt.Println("analyzers:")
+	for _, a := range lint.Analyzers() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-16s %s\n", a.Name, doc)
+	}
+}
+
+// runPatterns is standalone mode: load, analyze, and report every
+// package matching the patterns (relative to the current directory).
+func runPatterns(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flock-vet: %v\n", err)
+		return 2
+	}
+	pkgs, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flock-vet: %v\n", err)
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	bad := false
+	for _, pkg := range pkgs {
+		findings, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flock-vet: %s: %v\n", pkg.PkgPath, err)
+			return 2
+		}
+		for _, f := range findings {
+			bad = true
+			printFinding(cwd, f)
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+func printFinding(base string, f lint.Finding) {
+	name := f.Pos.Filename
+	if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// vetConfig is the configuration cmd/go writes for -vettool binaries
+// (see $GOROOT/src/cmd/go/internal/work/exec.go, vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool is vettool mode: one invocation per package, config read
+// from the .cfg file, diagnostics on stderr, non-zero exit on findings.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flock-vet: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "flock-vet: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go expects the facts file even though this suite exports no
+	// facts; writing it keeps the vet cache happy.
+	writeVetx := func() int {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "flock-vet: writing vetx: %v\n", err)
+				return 2
+			}
+		}
+		return 0
+	}
+	if cfg.VetxOnly {
+		return writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, cfg.PackageFile)
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	pkg, err := load.TypeCheck(fset, cfg.ImportPath, cfg.Dir, files, imp.ForPackage(cfg.ImportMap), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx()
+		}
+		fmt.Fprintf(os.Stderr, "flock-vet: %v\n", err)
+		return 2
+	}
+	findings, err := lint.RunPackage(pkg, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flock-vet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	if rc := writeVetx(); rc != 0 {
+		return rc
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			printFinding(cfg.Dir, f)
+		}
+		return 1
+	}
+	return 0
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/governance"
 )
 
@@ -41,7 +42,7 @@ type Durability struct {
 	dir string
 
 	auditMu  sync.Mutex
-	auditF   *os.File
+	auditF   *fault.File
 	auditErr error // first audit-persistence failure (surfaced on Close)
 
 	mu             sync.Mutex
@@ -120,7 +121,9 @@ func openDir(dir string, opts DurabilityOptions, replicaOf string) (*Flock, *Dur
 		db.CloseDurability()
 		return nil, nil, fmt.Errorf("core: opening audit log: %w", err)
 	}
-	d.auditF = af
+	// Audit I/O rides the "audit.*" failpoints: a new durability file
+	// must never be invisible to the chaos plane.
+	d.auditF = fault.NewFile(af, "audit")
 	f.Audit.SetSink(d.appendAudit)
 	return f, d, nil
 }
@@ -155,7 +158,7 @@ func readAuditEntries(path string) ([]governance.AuditEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	var out []governance.AuditEntry
 	_, err = engine.ReadFrames(f, func(payload []byte) error {
 		var e governance.AuditEntry

@@ -187,12 +187,12 @@ func createWAL(path string, syncPolicy bool, startLSN int64) (*WAL, error) {
 	// schedules can fail writes, fsyncs, and truncates deterministically.
 	f := fault.NewFile(raw, "wal")
 	if _, err := io.WriteString(f, walHeader); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("engine: wal: %w", err)
 	}
 	if syncPolicy {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("engine: wal: %w", err)
 		}
 	}
@@ -472,7 +472,7 @@ func OpenDirDB(dir string, syncWAL bool) (*DB, RecoveryInfo, error) {
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
 		lerr := db.LoadSnapshot(f)
-		f.Close()
+		_ = f.Close()
 		if lerr != nil {
 			return nil, info, fmt.Errorf("engine: recovering %s: %w", snapPath, lerr)
 		}
@@ -572,7 +572,7 @@ func (db *DB) replayWALFile(path string) (applied, skipped int, torn bool, err e
 	if err != nil {
 		return 0, 0, false, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return db.replayWAL(f)
 }
 
@@ -726,7 +726,7 @@ func writeSnapshotFile(path string, snap savedDB) error {
 	tmp := fault.NewFile(raw, "snapshot")
 	tmpName := raw.Name()
 	fail := func(err error) error {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("engine: snapshot: %w", err)
 	}
@@ -744,12 +744,10 @@ func writeSnapshotFile(path string, snap savedDB) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("engine: snapshot: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		// Make the rename itself durable; best-effort where the platform
-		// does not support directory fsync.
-		_ = d.Sync()
-		d.Close()
-	}
+	// Make the rename itself durable; best-effort where the platform does
+	// not support directory fsync, and a chaos schedule can fail it via
+	// the snapshot.dirsync point.
+	_ = fault.SyncDir("snapshot.dirsync", dir)
 	return nil
 }
 

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Replication hooks over the write-ahead log. The WAL is already a
@@ -247,7 +249,7 @@ func readWALFileRange(path string, fn func(lsn int64, payload []byte) error) (st
 	if err != nil {
 		return false, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	hdr := make([]byte, len(walHeader))
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -413,15 +415,18 @@ func (db *DB) BootstrapReplica(snapshot []byte) error {
 // writeRawFileDurable writes pre-encoded bytes crash-safely: temp file,
 // fsync, atomic rename, directory fsync (the raw-bytes sibling of
 // writeSnapshotFile, used when the content arrives already encoded).
+// All I/O rides the "bootstrap.*" failpoints so replica-bootstrap chaos
+// schedules can tear any stage of the install.
 func writeRawFileDurable(path string, blob []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	raw, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	tmpName := tmp.Name()
+	tmp := fault.NewFile(raw, "bootstrap")
+	tmpName := raw.Name()
 	fail := func(err error) error {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmpName)
 		return err
 	}
@@ -435,14 +440,11 @@ func writeRawFileDurable(path string, blob []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fault.Rename("bootstrap.rename", tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = fault.SyncDir("bootstrap.dirsync", dir)
 	return nil
 }
 

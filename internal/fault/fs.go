@@ -64,6 +64,25 @@ func (f *File) Truncate(size int64) error {
 	return f.File.Truncate(size)
 }
 
+// SyncDir opens, fsyncs, and closes the directory at dir through a named
+// failpoint (conventionally "<prefix>.dirsync"). The directory fsync is
+// what makes a just-renamed file survive a crash — losing it silently is
+// exactly the failure mode this point exists to inject.
+func SyncDir(point, dir string) error {
+	if err := Inject(point); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
+
 // Rename routes os.Rename through a named failpoint so checkpoint segment
 // rotation and snapshot publication can be made to fail atomically (the
 // rename either happened or it did not — no torn state, matching rename(2)

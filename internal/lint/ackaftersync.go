@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// AckAfterSync enforces the PR 4 commit contract: appending a commit
+// frame to the WAL does not make it durable — only waitDurable does.
+// A function that calls commitAppend/commitReplace (which append the
+// frame under writeMu and return its LSN) must either wait for that LSN
+// to be durable before reporting success, or return the LSN so its
+// caller inherits the obligation. Separately, WAL-method fsync error
+// paths must reach the poison/rewind machinery: a swallowed fsync error
+// is how acked data gets silently lost.
+var AckAfterSync = &analysis.Analyzer{
+	Name: "ackaftersync",
+	Doc: `no success ack between WAL append and durable wait
+
+Callers of commitAppend/commitReplace must call a waitDurable-family
+helper before returning success, or return the LSN to delegate the
+wait. WAL methods that observe an fsync error must route it into
+poison/rewind (poisonLocked, noteWALErr, syncErr) rather than dropping
+it.`,
+	Run: runAckAfterSync,
+}
+
+func runAckAfterSync(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro/internal/engine", "repro/internal/core") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCommitWaits(pass, fd)
+			checkSyncErrPoison(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// commitCallNames are the append-side commit helpers that return an LSN
+// whose durability someone must await.
+func isCommitAppendCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "commitAppend", "commitReplace":
+		return true
+	}
+	return false
+}
+
+// checkCommitWaits flags commitAppend/commitReplace call sites in
+// functions that neither wait for durability nor return the LSN.
+func checkCommitWaits(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: find commit calls and the variables their LSN lands in.
+	// `return db.commitAppend(...)` forwards the LSN directly and is a
+	// legal delegation, so commit calls inside return statements are
+	// collected as returns, not obligations.
+	var commitCalls []*ast.CallExpr
+	lsnVars := map[string]bool{}
+	returnsLSN := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isCommitAppendCall(call) {
+					continue
+				}
+				commitCalls = append(commitCalls, call)
+				if len(x.Lhs) > 0 {
+					if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						lsnVars[id.Name] = true
+					}
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if call, ok := res.(*ast.CallExpr); ok && isCommitAppendCall(call) {
+					returnsLSN = true
+				}
+			}
+			return true
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && isCommitAppendCall(call) {
+				commitCalls = append(commitCalls, call)
+			}
+			return true
+		}
+		return true
+	})
+
+	if len(commitCalls) == 0 {
+		return
+	}
+
+	// Pass 2: does the function discharge the durability obligation?
+	waits := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if strings.Contains(name, "waitDurable") || strings.Contains(name, "WaitDurable") || name == "SyncWALTo" {
+				waits = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if id, ok := res.(*ast.Ident); ok && lsnVars[id.Name] {
+					returnsLSN = true
+				}
+			}
+		}
+		return true
+	})
+	if waits || returnsLSN {
+		return
+	}
+	for _, call := range commitCalls {
+		pass.Reportf(call.Pos(), "%s appends a WAL frame but its LSN is neither awaited durable nor returned: call walWaitDurable(lsn) before acking, or return the LSN (ack-after-sync invariant, PR 4)", calleeName(call))
+	}
+}
+
+// poisonRefNames are the identifiers whose presence shows an fsync
+// error reached the WAL failure machinery.
+var poisonRefNames = map[string]bool{
+	"poisonLocked": true,
+	"poison":       true,
+	"rewind":       true,
+	"noteWALErr":   true,
+	"syncErr":      true,
+	"broken":       true,
+}
+
+// checkSyncErrPoison flags WAL methods that check a file Sync error but
+// never route it toward poison/rewind. Plain functions (like createWAL,
+// which runs before a WAL exists) are exempt: the invariant binds
+// methods operating on a live WAL.
+func checkSyncErrPoison(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	recvName := receiverTypeName(fd)
+	if !strings.HasSuffix(recvName, "WAL") {
+		return
+	}
+	var syncChecked ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(call) != "Sync" {
+			return true
+		}
+		if recv := recvExpr(call); recv != nil && isDurableFile(pass.TypeOf(recv)) && syncChecked == nil {
+			syncChecked = call
+		}
+		return true
+	})
+	if syncChecked == nil {
+		return
+	}
+	reaches := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reaches {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if poisonRefNames[x.Name] {
+				reaches = true
+			}
+		case *ast.SelectorExpr:
+			if poisonRefNames[x.Sel.Name] {
+				reaches = true
+			}
+		}
+		return true
+	})
+	if !reaches {
+		pass.Reportf(syncChecked.Pos(), "WAL method fsyncs but its error path never reaches poison/rewind (poisonLocked, noteWALErr, syncErr): a dropped fsync error silently un-durables acked commits (ack-after-sync invariant, PR 4)")
+	}
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

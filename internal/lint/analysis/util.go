@@ -1,0 +1,10 @@
+package analysis
+
+import "fmt"
+
+func sprintf(format string, args ...interface{}) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}

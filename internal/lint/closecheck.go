@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// CloseCheck forbids silently discarding Close/Sync errors on file
+// handles (*os.File and *fault.File). On durability paths a dropped
+// Close error can hide a failed flush of acked data; on read paths the
+// discard must at least be explicit. Allowed forms:
+//
+//	if err := f.Close(); err != nil { ... }   // handled
+//	err = f.Close()                           // captured
+//	_ = f.Close()                             // explicit, auditable discard
+//	defer func() { _ = f.Close() }()          // explicit discard in defer
+//
+// Flagged forms:
+//
+//	f.Close()          // implicit discard
+//	defer f.Close()    // implicit discard at function exit
+var CloseCheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: `Close/Sync errors on file handles may not be silently discarded
+
+A bare f.Close() / f.Sync() statement or defer on an *os.File or
+*fault.File drops the error on the floor. Handle it, capture it, or
+discard it explicitly with _ = so the decision is visible in review.`,
+	Run: runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					reportDiscardedClose(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				reportDiscardedClose(pass, x.Call, true)
+			case *ast.GoStmt:
+				reportDiscardedClose(pass, x.Call, true)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func reportDiscardedClose(pass *analysis.Pass, call *ast.CallExpr, deferred bool) {
+	name := calleeName(call)
+	if name != "Close" && name != "Sync" {
+		return
+	}
+	recv := recvExpr(call)
+	if recv == nil || !isDurableFile(pass.TypeOf(recv)) {
+		return
+	}
+	form := ""
+	if deferred {
+		form = "deferred "
+	}
+	pass.Reportf(call.Pos(), "%s%s error on file handle silently discarded: check it, or make the discard explicit with `_ = %s()` (durability errors surface at close/fsync time)", form, name, name)
+}

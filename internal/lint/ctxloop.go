@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxLoop enforces the PR 2/3 cancellation contract: in the engine,
+// replication, server, and command layers, any loop that can spin for a
+// long time — an unbounded `for`/`for cond` loop, or any loop that
+// sleeps — inside a function with a context in scope must give that
+// context a chance to stop it. A checkpoint is a ctx.Err()/ctx.Done()
+// poll, a select on a Done channel, a ctxCheck call, or passing the
+// context into a callee (which then owns cancellation).
+var CtxLoop = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: `batch/poll loops must poll ctx
+
+Unbounded loops and sleep loops in functions that have a context.Context
+(or *http.Request) available must contain a cancellation checkpoint:
+ctx.Err(), ctx.Done(), a select on Done, ctxCheck, or a call that the
+context flows into. This is the PR 2/3 bug class where morsel loops and
+long-poll tailers outlived their request.`,
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro/internal/engine", "repro/internal/repl", "repro/internal/server", "repro/cmd") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxLoops(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkCtxLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !hasCtxInScope(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		trigger := false
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+			// `for {}` and `for cond {}` are unbounded; three-clause
+			// loops are bounded by their post condition and only count
+			// when they sleep. The `for it.Next()` / `for sc.Scan()`
+			// iterator idiom is exempt: the iterator was constructed
+			// with the context and fails fast on cancellation.
+			trigger = loop.Init == nil && loop.Post == nil && !isIteratorCond(loop.Cond)
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !trigger && !containsSleep(pass, body) {
+			return true
+		}
+		if containsSleep(pass, body) {
+			trigger = true
+		}
+		if trigger && !hasCtxCheckpoint(pass, body) {
+			pass.Reportf(n.Pos(), "loop does not poll ctx: add a ctx.Err()/ctx.Done() checkpoint, select on Done, or pass ctx to a callee (cancellation must reach batch and poll loops)")
+			// Still descend: a nested loop may be a separate violation.
+		}
+		return true
+	})
+}
+
+// hasCtxInScope reports whether the function can reach a context: a
+// context.Context value (param or local) or an *http.Request param.
+func hasCtxInScope(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if isContextType(obj.Type()) || isPtrToNamed(obj.Type(), "net/http", "Request") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isIteratorCond recognizes a loop condition that is a bare method
+// call (`for rs.Next()`, `for sc.Scan()`): the cursor/scanner advance
+// idiom, where the iterator owns cancellation.
+func isIteratorCond(cond ast.Expr) bool {
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, isMethod := call.Fun.(*ast.SelectorExpr)
+	return isMethod
+}
+
+// containsSleep reports whether the block calls time.Sleep anywhere.
+func containsSleep(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if funcFullName(pass.TypesInfo, call) == "time.Sleep" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasCtxCheckpoint reports whether the loop body gives a context a
+// chance to cancel the loop.
+func hasCtxCheckpoint(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if x, ok := n.(*ast.CallExpr); ok {
+			name := calleeName(x)
+			// ctx.Err() / ctx.Done() / r.Context() polls.
+			if name == "Err" || name == "Done" {
+				if recv := recvExpr(x); recv != nil && isContextType(pass.TypeOf(recv)) {
+					found = true
+					return false
+				}
+			}
+			if name == "Context" {
+				if recv := recvExpr(x); recv != nil && isPtrToNamed(pass.TypeOf(recv), "net/http", "Request") {
+					found = true
+					return false
+				}
+			}
+			// The engine's shared checkpoint helpers (free function and
+			// the executor's method form).
+			if name == "ctxCheck" || name == "checkCtx" {
+				found = true
+				return false
+			}
+			// Context handed to a callee: the callee owns cancellation.
+			for _, arg := range x.Args {
+				if isContextType(pass.TypeOf(arg)) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// FaultPoint keeps the PR 6 chaos plane load-bearing: every mutating
+// I/O operation on a durability file (WAL segments, checkpoints,
+// snapshots, audit logs) must flow through the internal/fault wrappers
+// — fault.File for writes/fsyncs, fault.Rename for atomic installs,
+// fault.SyncDir for directory fsyncs — so a registered failpoint covers
+// it. A raw *os.File write added to a commit path would be invisible to
+// every fault-injection test in CI; this analyzer makes that a compile
+// gate instead of a review hope.
+var FaultPoint = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: `durability I/O must pass through the fault plane
+
+In internal/engine and internal/core, mutating calls on a raw *os.File
+(Write, WriteString, WriteAt, Sync, Truncate) and direct os.Rename are
+forbidden: wrap the handle in fault.NewFile and use fault.Rename /
+fault.SyncDir so the chaos plane's failpoints cover the new I/O site.
+Read-side use of os.File (Open/Read/Seek/Close) is fine.`,
+	Run: runFaultPoint,
+}
+
+// mutatingFileMethods are the *os.File methods that alter on-disk state.
+var mutatingFileMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Sync":        true,
+	"Truncate":    true,
+}
+
+func runFaultPoint(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro/internal/engine", "repro/internal/core") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if full := funcFullName(pass.TypesInfo, call); full == "os.Rename" {
+				pass.Reportf(call.Pos(), "direct os.Rename in durability code: use fault.Rename so the rename is a registered failpoint (fault-plane invariant, PR 6)")
+				return true
+			}
+			name := calleeName(call)
+			if !mutatingFileMethods[name] {
+				return true
+			}
+			recv := recvExpr(call)
+			if recv == nil {
+				return true
+			}
+			if isPtrToNamed(pass.TypeOf(recv), "os", "File") {
+				pass.Reportf(call.Pos(), "raw *os.File.%s in durability code: wrap the handle with fault.NewFile (or use fault.SyncDir for directory fsyncs) so the chaos plane covers this I/O site (fault-plane invariant, PR 6)", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,65 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoadEnginePackage exercises the full loader path — go list export
+// data, the gc importer, and source type-checking — against a real
+// package with non-trivial imports.
+func TestLoadEnginePackage(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, "./internal/fault", "./internal/engine")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	eng, ok := byPath["repro/internal/engine"]
+	if !ok {
+		t.Fatalf("engine package not loaded; got %v", keys(byPath))
+	}
+	if eng.Types == nil || !eng.Types.Complete() {
+		t.Fatal("engine package types incomplete")
+	}
+	// Cross-package type resolution must work: the WAL's file handle is a
+	// *fault.File, which only type-checks if the fault import resolved.
+	wal, ok := eng.Types.Scope().Lookup("WAL").(*types.TypeName)
+	if !ok {
+		t.Fatal("WAL type not found in engine package")
+	}
+	st, ok := wal.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("WAL is %T, want struct", wal.Type().Underlying())
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "f" {
+			found = true
+			if got := f.Type().String(); got != "*repro/internal/fault.File" {
+				t.Fatalf("WAL.f type = %s, want *repro/internal/fault.File", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("WAL.f field not found")
+	}
+}
+
+func keys(m map[string]*Package) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

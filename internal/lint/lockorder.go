@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockOrder enforces the PR 4 group-commit lock hierarchy. The commit
+// path takes a table's writeMu first and the DB-wide commitMu (read
+// side) inside it — commitAppend/commitReplace run under the caller's
+// writeMu. Two things must therefore never happen:
+//
+//  1. acquiring a writeMu while commitMu is held (inverted order —
+//     deadlocks against the commit barrier's commitMu.Lock()), and
+//  2. blocking on durability (waitDurable/walWaitDurable/SyncWALTo, or
+//     an fsync on a durability file) while holding a writeMu — group
+//     commit exists precisely so writers release writeMu before they
+//     wait for the disk.
+//
+// The analysis is an in-order scan of each function body tracking which
+// of the two mutex families is held; `defer Unlock` keeps the lock held
+// for the remainder of the function, as it does at runtime.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `commit-barrier lock ordering and no-durability-under-writeMu
+
+writeMu is the outer lock, commitMu the inner: never acquire a writeMu
+while holding commitMu, and never block on durability (waitDurable,
+walWaitDurable, SyncWALTo, or a file Sync) while holding a writeMu.`,
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro/internal/engine", "repro/internal/core") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanLockOrder(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// mutex families, identified by field/variable name.
+const (
+	muWrite  = "writeMu"
+	muCommit = "commitMu"
+)
+
+func lockFamily(recv ast.Expr) string {
+	switch x := recv.(type) {
+	case *ast.Ident:
+		if x.Name == muWrite || x.Name == muCommit {
+			return x.Name
+		}
+	case *ast.SelectorExpr:
+		if x.Sel.Name == muWrite || x.Sel.Name == muCommit {
+			return x.Sel.Name
+		}
+	}
+	return ""
+}
+
+func scanLockOrder(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Closures run on their own goroutine/time; analyze their
+			// bodies independently rather than under the current holds.
+			scanLockOrder(pass, x.Body)
+			return false
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` releases at return — the lock stays
+			// held for everything that follows in source order, so the
+			// scan must not clear it here. Other deferred calls are
+			// scanned normally.
+			if call := x.Call; call != nil {
+				name := calleeName(call)
+				if (name == "Unlock" || name == "RUnlock") && recvExpr(call) != nil && lockFamily(recvExpr(call)) != "" {
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			name := calleeName(x)
+			recv := recvExpr(x)
+			fam := ""
+			if recv != nil {
+				fam = lockFamily(recv)
+			}
+			switch name {
+			case "Lock", "RLock":
+				if fam == muWrite {
+					if held[muCommit] {
+						pass.Reportf(x.Pos(), "writeMu acquired while holding commitMu: the lock order is writeMu before commitMu (group-commit barrier invariant, PR 4)")
+					}
+					held[muWrite] = true
+				} else if fam == muCommit {
+					held[muCommit] = true
+				}
+			case "Unlock", "RUnlock":
+				if fam != "" {
+					delete(held, fam)
+				}
+			}
+			if held[muWrite] && isDurabilityWait(pass, x) {
+				pass.Reportf(x.Pos(), "%s called while holding writeMu: release writeMu before blocking on durability (group-commit invariant, PR 4)", name)
+			}
+		}
+		return true
+	})
+}
+
+// isDurabilityWait recognizes calls that block until bytes are on disk:
+// the engine's durable-wait helpers by name, and fsync on a durability
+// file handle by receiver type.
+func isDurabilityWait(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "waitDurable", "walWaitDurable", "WaitDurable", "SyncWALTo":
+		return true
+	case "Sync":
+		if recv := recvExpr(call); recv != nil && isDurableFile(pass.TypeOf(recv)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// RetryIdempotent guards the SDK's retry contract from PR 7: transient
+// failures may be retried only on idempotent calls (Query, Prepare,
+// cursor fetches). Exec is not idempotent — an INSERT whose response
+// was lost may have committed, and a blind retry double-applies it — so
+// no static call path from an Exec method may reach the retry
+// machinery.
+//
+// Retry machinery is recognized structurally rather than by name: any
+// for-loop that consults IsTransient (the SDK's retryable-error
+// classifier) is a retry loop. The analyzer then walks the
+// package-internal call graph from every function or method named Exec
+// and reports any path that reaches one.
+var RetryIdempotent = &analysis.Analyzer{
+	Name: "retryidempotent",
+	Doc: `SDK retry loops must be unreachable from Exec paths
+
+Exec is not idempotent; retry loops (for-loops consulting IsTransient)
+must only wrap the idempotent call set. Any static call chain from a
+function named Exec to a retry loop is an error.`,
+	Run: runRetryIdempotent,
+}
+
+func runRetryIdempotent(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro/pkg/flockclient") {
+		return nil, nil
+	}
+
+	// Collect package-local function declarations keyed by object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Build the static call graph and the retry-loop set.
+	callees := map[*types.Func][]*types.Func{}
+	isRetry := map[*types.Func]bool{}
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if target := calleeObj(pass, call); target != nil {
+					if _, local := decls[target]; local {
+						callees[obj] = append(callees[obj], target)
+					}
+				}
+			}
+			return true
+		})
+		isRetry[obj] = hasRetryLoop(pass, fd)
+	}
+
+	// From every Exec, search for a reachable retry loop.
+	for obj, fd := range decls {
+		if obj.Name() != "Exec" {
+			continue
+		}
+		if path := findRetryPath(obj, callees, isRetry, map[*types.Func]bool{}); path != nil {
+			pass.Reportf(fd.Pos(), "%s reaches retry machinery via %s: Exec is not idempotent and must not be retried (SDK retry contract, PR 7)", describeFunc(obj), pathString(path))
+		}
+	}
+	return nil, nil
+}
+
+// hasRetryLoop reports whether fd contains a for-loop that consults the
+// transient-error classifier — the structural signature of the SDK's
+// retry machinery.
+func hasRetryLoop(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if name := calleeName(call); name == "IsTransient" || name == "isTransient" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// calleeObj resolves a call to the *types.Func it invokes (nil for
+// indirect calls, builtins, or conversions).
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// findRetryPath DFSes the call graph from fn and returns a call chain
+// ending at a retry loop, or nil.
+func findRetryPath(fn *types.Func, callees map[*types.Func][]*types.Func, isRetry map[*types.Func]bool, seen map[*types.Func]bool) []*types.Func {
+	if seen[fn] {
+		return nil
+	}
+	seen[fn] = true
+	if isRetry[fn] {
+		return []*types.Func{fn}
+	}
+	for _, c := range callees[fn] {
+		if path := findRetryPath(c, callees, isRetry, seen); path != nil {
+			return append([]*types.Func{fn}, path...)
+		}
+	}
+	return nil
+}
+
+func describeFunc(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), func(*types.Package) string { return "" }) + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func pathString(path []*types.Func) string {
+	s := ""
+	for i, fn := range path {
+		if i > 0 {
+			s += " -> "
+		}
+		s += fn.Name()
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+// Fixture for the ackaftersync analyzer: the LSN returned by a commit
+// append must be awaited durable or handed to the caller, and WAL fsync
+// errors must reach the poison machinery.
+package ackaftersync_fixture
+
+import "os"
+
+type db struct{}
+
+func (d *db) commitAppend(rows int) (int64, error)  { return 1, nil }
+func (d *db) commitReplace(rows int) (int64, error) { return 1, nil }
+func (d *db) walWaitDurable(lsn int64) error        { return nil }
+
+// Acking before the frame is durable: the classic lost-commit bug.
+func (d *db) badAckEarly(rows int) error {
+	lsn, err := d.commitAppend(rows) // want `neither awaited durable nor returned`
+	_ = lsn
+	return err
+}
+
+// Dropping the LSN entirely is the same bug.
+func (d *db) badDropLSN(rows int) {
+	d.commitReplace(rows) // want `neither awaited durable nor returned`
+}
+
+// Waiting for durability before acking discharges the obligation.
+func (d *db) goodWait(rows int) error {
+	lsn, err := d.commitAppend(rows)
+	if err != nil {
+		return err
+	}
+	return d.walWaitDurable(lsn)
+}
+
+// Returning the LSN delegates the wait to the caller (the locked-helper
+// pattern: append under writeMu, wait after release).
+func (d *db) goodReturnLSN(rows int) (int64, error) {
+	lsn, err := d.commitAppend(rows)
+	return lsn, err
+}
+
+// Forwarding the call's results directly also delegates.
+func (d *db) goodForward(rows int) (int64, error) {
+	return d.commitReplace(rows)
+}
+
+// --- fsync-error half ---
+
+type poisonWAL struct {
+	f       *os.File
+	syncErr error
+}
+
+func (w *poisonWAL) poisonLocked(err error) { w.syncErr = err }
+
+// Error routed into poison: acceptable.
+func (w *poisonWAL) goodSync() error {
+	if err := w.f.Sync(); err != nil {
+		w.poisonLocked(err)
+		return err
+	}
+	return nil
+}
+
+type leakyWAL struct {
+	f *os.File
+}
+
+// Sync error returned but the WAL never poisoned: the next append would
+// happily ack on top of un-durable frames.
+func (w *leakyWAL) badSync() error {
+	if err := w.f.Sync(); err != nil { // want `never reaches poison/rewind`
+		return err
+	}
+	return nil
+}
+
+// Non-WAL types are outside this rule (plain files fsync freely).
+type spoolFile struct {
+	f *os.File
+}
+
+func (s *spoolFile) flush() error {
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Fixture for the closecheck analyzer: Close/Sync errors on file
+// handles must be handled, captured, or explicitly discarded — and the
+// flockvet:ignore escape hatch must actually suppress.
+package closecheck_fixture
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/fault"
+)
+
+// Implicit discards: the error evaporates.
+func badBareClose(f *os.File) {
+	f.Close() // want `Close error on file handle silently discarded`
+}
+
+func badDeferClose(f *os.File) {
+	defer f.Close() // want `deferred Close error on file handle silently discarded`
+}
+
+func badBareSync(f *fault.File) {
+	f.Sync() // want `Sync error on file handle silently discarded`
+}
+
+// Handled, captured, and explicitly discarded forms all pass.
+func goodHandled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodCaptured(f *fault.File) error {
+	err := f.Sync()
+	return err
+}
+
+func goodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func goodDeferClosure(f *os.File) {
+	defer func() { _ = f.Close() }()
+}
+
+// Non-file closers (response bodies, row sets) are out of scope.
+func goodOtherCloser(rc io.ReadCloser) {
+	defer rc.Close()
+	rc.Close()
+}
+
+// A well-formed ignore directive suppresses the finding (and is the
+// end-to-end test that the driver's filtering works).
+func goodIgnored(f *os.File) {
+	f.Close() //flockvet:ignore closecheck descriptor owned by the caller, which reports the error
+}
+
+// A reason-less directive does NOT suppress.
+func badIgnoreWithoutReason(f *os.File) {
+	f.Close() //flockvet:ignore closecheck
+	// want `Close error on file handle silently discarded`
+}

@@ -1,0 +1,130 @@
+// Fixture for the ctxloop analyzer: loops that must poll ctx, and the
+// loop shapes that legitimately need not.
+package ctxloop_fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func work(ctx context.Context, n int) error { return nil }
+
+// Unbounded loop with ctx in scope and no checkpoint: the PR 2/3 bug.
+func badSpin(ctx context.Context) {
+	for { // want `loop does not poll ctx`
+		compute()
+	}
+}
+
+// Sleep-poll loop that ignores its context.
+func badSleepPoll(ctx context.Context, ready func() bool) {
+	for !ready() { // want `loop does not poll ctx`
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Even a bounded range loop must checkpoint once it sleeps.
+func badRangeSleep(ctx context.Context, batches []int) {
+	for range batches { // want `loop does not poll ctx`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Handler with a request in scope: r.Context() is available and unused.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	for { // want `loop does not poll ctx`
+		compute()
+	}
+}
+
+// ctx.Err() poll is a checkpoint.
+func goodErrPoll(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		compute()
+	}
+}
+
+// Selecting on Done is a checkpoint.
+func goodSelect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Passing ctx into the loop body hands cancellation to the callee.
+func goodFlowsToCallee(ctx context.Context, batches []int) error {
+	for i := range batches {
+		if err := work(ctx, i); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// The engine's shared checkpoint helper counts.
+func goodCtxCheck(ctx context.Context) {
+	for {
+		if ctxCheck() != nil {
+			return
+		}
+		compute()
+	}
+}
+
+// A handler that selects on the request context.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+			compute()
+		}
+	}
+}
+
+// No context in scope: stop-channel loops are someone else's contract.
+func goodNoCtx(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// The iterator-advance idiom: the cursor carries the query's context.
+func goodIterator(ctx context.Context, it *iter) int {
+	n := 0
+	for it.Next() {
+		n++
+	}
+	return n
+}
+
+// Bounded three-clause loops without sleeping are fine.
+func goodBounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func compute()        {}
+func ctxCheck() error { return nil }
+
+type iter struct{}
+
+func (it *iter) Next() bool { return false }

@@ -1,0 +1,52 @@
+// Fixture for the faultpoint analyzer: mutating durability I/O must go
+// through the fault plane's wrappers so failpoints cover every site.
+package faultpoint_fixture
+
+import (
+	"os"
+
+	"repro/internal/fault"
+)
+
+// Raw mutating calls on *os.File: invisible to every chaos schedule.
+func badRawWrites(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil { // want `raw \*os\.File\.Write in durability code`
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil { // want `raw \*os\.File\.WriteString in durability code`
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `raw \*os\.File\.Sync in durability code`
+		return err
+	}
+	return f.Truncate(0) // want `raw \*os\.File\.Truncate in durability code`
+}
+
+// Direct rename bypasses the rename failpoints.
+func badRename(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `direct os\.Rename in durability code`
+}
+
+// The same operations through the fault plane are the approved form.
+func goodWrapped(raw *os.File, b []byte, tmp, dst string) error {
+	f := fault.NewFile(raw, "seg")
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fault.Rename("seg.rename", tmp, dst); err != nil {
+		return err
+	}
+	return fault.SyncDir("seg.dirsync", ".")
+}
+
+// Read-side use of os.File never needs a failpoint.
+func goodReads(f *os.File, b []byte) error {
+	if _, err := f.Read(b); err != nil {
+		return err
+	}
+	_, err := f.Seek(0, 0)
+	return err
+}

@@ -1,0 +1,20 @@
+// Fixture for the ignorecheck analyzer: suppression directives must
+// name a real analyzer and carry a reason.
+package ignorecheck_fixture
+
+// A bare directive names nothing and suppresses nothing.
+//flockvet:ignore
+// want `flockvet:ignore without an analyzer name`
+
+// A typoed analyzer silently suppresses nothing — flag it.
+//flockvet:ignore closechek fd owned by caller
+// want `names unknown analyzer "closechek"`
+
+// A known analyzer without a reason is unauditable.
+//flockvet:ignore ctxloop
+// want `flockvet:ignore ctxloop without a reason`
+
+// The well-formed shape passes.
+//flockvet:ignore closecheck descriptor ownership documented at the open site
+
+func placeholder() {}

@@ -1,0 +1,74 @@
+// Fixture for the lockorder analyzer: the writeMu-before-commitMu
+// hierarchy and the no-durability-wait-under-writeMu rule.
+package lockorder_fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type table struct {
+	writeMu sync.Mutex
+	rows    int
+}
+
+type db struct {
+	commitMu sync.RWMutex
+	wal      *os.File
+}
+
+func (d *db) walWaitDurable(lsn int64) error { return nil }
+
+// Inverted order: taking a writeMu inside the commit barrier deadlocks
+// against commitMu.Lock() on the barrier side.
+func (d *db) badInverted(t *table) {
+	d.commitMu.RLock()
+	t.writeMu.Lock() // want `writeMu acquired while holding commitMu`
+	t.rows++
+	t.writeMu.Unlock()
+	d.commitMu.RUnlock()
+}
+
+// Blocking on durability while holding writeMu defeats group commit:
+// every other writer on this table stalls for the fsync.
+func (d *db) badWaitUnder(t *table) error {
+	t.writeMu.Lock()
+	err := d.walWaitDurable(7) // want `walWaitDurable called while holding writeMu`
+	t.writeMu.Unlock()
+	return err
+}
+
+// defer Unlock keeps the lock held to the end of the function, so the
+// durability wait below is still under writeMu.
+func (d *db) badWaitUnderDefer(t *table) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	t.rows++
+	return d.walWaitDurable(9) // want `walWaitDurable called while holding writeMu`
+}
+
+// A raw fsync is a durability wait too.
+func (d *db) badSyncUnder(t *table) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	return d.wal.Sync() // want `Sync called while holding writeMu`
+}
+
+// The legal shape: writeMu outer, commitMu.RLock inner, durability wait
+// only after writeMu is released.
+func (d *db) goodCommit(t *table) error {
+	t.writeMu.Lock()
+	d.commitMu.RLock()
+	t.rows++
+	d.commitMu.RUnlock()
+	t.writeMu.Unlock()
+	return d.walWaitDurable(11)
+}
+
+// Holding only commitMu while waiting is fine — that is the barrier's
+// own job.
+func (d *db) goodWaitUnderCommit() error {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	return d.walWaitDurable(13)
+}

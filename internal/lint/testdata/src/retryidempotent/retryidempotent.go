@@ -1,0 +1,58 @@
+// Fixture for the retryidempotent analyzer: no static call path from an
+// Exec method may reach the SDK's retry machinery (for-loops consulting
+// IsTransient).
+package retryidempotent_fixture
+
+import "errors"
+
+var errTransient = errors.New("transient")
+
+// IsTransient is the transient-error classifier; a for-loop consulting
+// it is, structurally, a retry loop.
+func IsTransient(err error) bool { return errors.Is(err, errTransient) }
+
+type client struct{}
+
+func (c *client) post(path string) error { return nil }
+
+// postIdem is the retry loop: only idempotent calls may route here.
+func (c *client) postIdem(path string) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = c.post(path)
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Query is idempotent: retrying it is the point of postIdem.
+func (c *client) Query(q string) error {
+	return c.postIdem("/query?" + q)
+}
+
+// Exec through the retry loop double-applies lost-response writes.
+func (c *client) Exec(stmt string) error { // want `Exec reaches retry machinery via Exec -> postIdem`
+	return c.postIdem("/exec?" + stmt)
+}
+
+type stmt struct {
+	c *client
+}
+
+// A transitive path (Exec -> run -> postIdem) is still a path.
+func (s *stmt) run(q string) error { return s.c.postIdem(q) }
+
+func (s *stmt) Exec(q string) error { // want `Exec reaches retry machinery via Exec -> run -> postIdem`
+	return s.run(q)
+}
+
+type direct struct {
+	c *client
+}
+
+// An Exec that posts once, without retry machinery, is the legal shape.
+func (d *direct) Exec(stmt string) error {
+	return d.c.post("/exec?" + stmt)
+}
