@@ -16,12 +16,27 @@
 // failpoints to have fired — torn batches shipped, reconnects happened —
 // proving convergence survived real stream interruptions, not an
 // uneventful run.
+//
+// Two further modes drive the failover drill (the CI three-node smoke):
+//
+//	-mode failover -kill-pid P   write acked rows under quorum acks, kill
+//	                             -9 the leader process, promote the
+//	                             replica via /v1/admin/promote, and verify
+//	                             every acked write survives exactly once
+//	                             on the new leader while the SDK's
+//	                             WithFailover follows the move;
+//	-mode fenced -old URL        after the workflow restarts the old
+//	                             leader with -repl-peers, assert it came
+//	                             back fenced (role gauge -1, writes
+//	                             refused), repoint it at the new leader,
+//	                             and require full convergence.
 package main
 
 import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -35,7 +50,10 @@ import (
 func main() {
 	leaderURL := ""
 	replicaURL := ""
+	oldURL := ""
+	mode := "replica"
 	rows := 500
+	killPID := 0
 	expectChaos := false
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
@@ -46,21 +64,48 @@ func main() {
 		case "-replica":
 			i++
 			replicaURL = args[i]
+		case "-old":
+			i++
+			oldURL = args[i]
+		case "-mode":
+			i++
+			mode = args[i]
 		case "-rows":
 			i++
 			fmt.Sscanf(args[i], "%d", &rows)
+		case "-kill-pid":
+			i++
+			fmt.Sscanf(args[i], "%d", &killPID)
 		case "-expect-chaos":
 			expectChaos = true
 		default:
 			log.Fatalf("flock-repl-smoke: unknown flag %q", args[i])
 		}
 	}
-	if leaderURL == "" || replicaURL == "" {
-		log.Fatal("flock-repl-smoke: -leader and -replica are required")
-	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
+
+	switch mode {
+	case "replica":
+	case "failover":
+		if leaderURL == "" || replicaURL == "" || killPID == 0 {
+			log.Fatal("flock-repl-smoke: -mode failover requires -leader, -replica, -kill-pid")
+		}
+		runFailover(ctx, leaderURL, replicaURL, rows, killPID, expectChaos)
+		return
+	case "fenced":
+		if leaderURL == "" || oldURL == "" {
+			log.Fatal("flock-repl-smoke: -mode fenced requires -leader (the new one) and -old")
+		}
+		runFenced(ctx, oldURL, leaderURL)
+		return
+	default:
+		log.Fatalf("flock-repl-smoke: unknown -mode %q", mode)
+	}
+	if leaderURL == "" || replicaURL == "" {
+		log.Fatal("flock-repl-smoke: -leader and -replica are required")
+	}
 
 	// 1. Write through the leader via the SDK, read-endpoint routed at the
 	// replica (Query goes to the replica, Exec stays on the leader).
@@ -134,14 +179,33 @@ func main() {
 	}
 	fmt.Println("read-endpoint routing ok")
 
-	// 5. Writes on the replica are rejected, and the rejection is the
-	// read-only taxonomy (503 + actionable message), not a generic failure.
-	if _, err := rc.Exec(ctx, "INSERT INTO smoke VALUES (-1, 0)"); err == nil {
-		log.Fatal("flock-repl-smoke: replica accepted a write")
-	} else if !strings.Contains(err.Error(), "read-only") {
-		log.Fatalf("flock-repl-smoke: replica write rejection not read-only-shaped: %v", err)
+	// 5. The replica itself rejects writes read-only (503 + actionable
+	// message + X-Flock-Leader). Asserted at the raw HTTP layer because
+	// the SDK now follows the leader hint: the same write through the
+	// replica-dialed client must succeed by redirecting to the leader.
+	body := fmt.Sprintf(`{"session":%q,"sql":"INSERT INTO smoke VALUES (-1, 0)"}`, rc.Session())
+	resp, err := http.Post(strings.TrimRight(replicaURL, "/")+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: raw replica write: %v", err)
 	}
-	fmt.Println("replica write rejection ok")
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		log.Fatalf("flock-repl-smoke: replica write got HTTP %d (%s), want 503", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if !strings.Contains(string(raw), "read-only") {
+		log.Fatalf("flock-repl-smoke: replica write rejection not read-only-shaped: %s", raw)
+	}
+	if hint := resp.Header.Get("X-Flock-Leader"); strings.TrimRight(hint, "/") != strings.TrimRight(leaderURL, "/") {
+		log.Fatalf("flock-repl-smoke: replica rejection named leader %q, want %q", hint, leaderURL)
+	}
+	if _, err := rc.Exec(ctx, "INSERT INTO smoke VALUES (-1, 0)"); err != nil {
+		log.Fatalf("flock-repl-smoke: SDK write via replica did not redirect to the leader: %v", err)
+	}
+	if got := rc.Endpoint(); got != strings.TrimRight(leaderURL, "/") {
+		log.Fatalf("flock-repl-smoke: replica-dialed client at %q after redirect, want the leader %q", got, leaderURL)
+	}
+	fmt.Println("replica write rejection + leader redirect ok")
 
 	// 6. Chaos variant: the failpoints must actually have fired — a torn
 	// ship on the leader and/or stream drops (reconnects) on the replica.
@@ -154,6 +218,227 @@ func main() {
 		fmt.Printf("chaos ok: %.0f torn batches, %.0f reconnects survived\n", torn, reconnects)
 	}
 	fmt.Println("flock-repl-smoke: PASS")
+}
+
+// runFailover is the kill-leader drill. The leader must run with quorum
+// acks (-repl-ack quorum -repl-quorum 1) so "Exec returned nil" implies
+// the write is applied and fsynced on the replica — the set this mode
+// asserts survives the promotion exactly once.
+func runFailover(ctx context.Context, leaderURL, replicaURL string, rows, killPID int, expectChaos bool) {
+	c, err := flockclient.Dial(ctx, leaderURL, "repl-smoke",
+		flockclient.WithFailover(replicaURL))
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: dial leader: %v", err)
+	}
+	defer c.Close(context.Background())
+	if _, err := c.Exec(ctx, "CREATE TABLE smoke (id int, v int)"); err != nil {
+		log.Fatalf("flock-repl-smoke: create: %v", err)
+	}
+	acked := map[int]bool{}
+	for i := 0; i < rows; i++ {
+		if _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO smoke VALUES (%d, %d)", i, i*7)); err == nil {
+			acked[i] = true
+		}
+	}
+	if len(acked) == 0 {
+		log.Fatal("flock-repl-smoke: no write was acked before the kill")
+	}
+	fmt.Printf("acked %d/%d rows under quorum\n", len(acked), rows)
+
+	// SIGKILL the leader mid-deployment: no shutdown hooks, no final fsync.
+	proc, err := os.FindProcess(killPID)
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: find leader pid %d: %v", killPID, err)
+	}
+	if err := proc.Kill(); err != nil {
+		log.Fatalf("flock-repl-smoke: kill leader: %v", err)
+	}
+	fmt.Printf("killed leader pid %d\n", killPID)
+
+	// A few post-kill writes: they may fail (dead leader, not-yet-promoted
+	// replica) — only nil-err writes join the acked set. Never re-Exec a
+	// failed id: an ambiguous commit retried blindly could double-apply.
+	for i := rows; i < rows+10; i++ {
+		if _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO smoke VALUES (%d, %d)", i, i*7)); err == nil {
+			acked[i] = true
+		}
+	}
+
+	// Promote the replica. Under -expect-chaos the replica runs with
+	// FLOCK_FAULTS=repl.promote:1:1 armed, so the first attempt draws a
+	// 409 and the retry proves an aborted promotion leaves a working
+	// follower, not a stuck node.
+	attempts, err := adminCall(ctx, replicaURL, "/v1/admin/promote", "")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: promote: %v", err)
+	}
+	fmt.Printf("promoted %s in %d attempt(s)\n", replicaURL, attempts)
+	if expectChaos && attempts < 2 {
+		log.Fatal("flock-repl-smoke: -expect-chaos but the armed repl.promote failpoint never aborted an attempt")
+	}
+	if role := scrapeGauge(replicaURL, "flock_repl_role"); role != 1 {
+		log.Fatalf("flock-repl-smoke: promoted node role gauge %.0f, want 1 (leader)", role)
+	}
+	if epoch := scrapeGauge(replicaURL, "flock_repl_epoch"); epoch < 2 {
+		log.Fatalf("flock-repl-smoke: promoted node epoch gauge %.0f, want >= 2", epoch)
+	}
+
+	// An idempotent call fails over the SDK session to a live candidate;
+	// writes then land on the new leader through the same client.
+	if _, err := c.Query(ctx, "SELECT id FROM smoke WHERE id = 0"); err != nil {
+		log.Fatalf("flock-repl-smoke: post-failover query: %v", err)
+	}
+	if got := c.Endpoint(); got != strings.TrimRight(replicaURL, "/") {
+		log.Fatalf("flock-repl-smoke: SDK failed over to %q, want %q", got, replicaURL)
+	}
+	if _, err := c.Exec(ctx, "INSERT INTO smoke VALUES (-100, 0)"); err != nil {
+		log.Fatalf("flock-repl-smoke: write on new leader via failed-over client: %v", err)
+	}
+	fmt.Println("SDK failover ok")
+
+	// Exactly once: every acked id is present with count 1 on the new
+	// leader. One grouped query through the failed-over client.
+	rs, err := c.Query(ctx, "SELECT id, count(*) AS n FROM smoke GROUP BY id")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: survivor scan: %v", err)
+	}
+	counts := map[int]int64{}
+	for rs.Next() {
+		var id, n int64
+		if err := rs.Scan(&id, &n); err != nil {
+			log.Fatalf("flock-repl-smoke: scan: %v", err)
+		}
+		counts[int(id)] = n
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatalf("flock-repl-smoke: survivor scan: %v", err)
+	}
+	for id := range acked {
+		if counts[id] != 1 {
+			log.Fatalf("flock-repl-smoke: acked id %d present %d times after promotion, want exactly 1", id, counts[id])
+		}
+	}
+	fmt.Printf("all %d acked writes survived exactly once\n", len(acked))
+	fmt.Println("flock-repl-smoke failover: PASS")
+}
+
+// runFenced verifies the restarted old leader (booted with -repl-peers
+// naming the new leader) is fenced, repoints it, and requires it to
+// converge as a replica of the new lineage.
+func runFenced(ctx context.Context, oldURL, newURL string) {
+	// The boot probe fences before the listener accepts traffic, but give
+	// the process a moment to come up at all.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		role, err := tryScrapeGauge(oldURL, "flock_repl_role")
+		if err == nil && role == -1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("flock-repl-smoke: old leader role gauge %.0f, want -1 (fenced); err %v", role, err)
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatalf("flock-repl-smoke: canceled waiting for the fence: %v", ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	fmt.Println("old leader came back fenced")
+
+	oc, err := flockclient.Dial(ctx, oldURL, "repl-smoke-fenced")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: dial old leader: %v", err)
+	}
+	defer oc.Close(context.Background())
+	if _, err := oc.Exec(ctx, "INSERT INTO smoke VALUES (-2, 0)"); err == nil {
+		log.Fatal("flock-repl-smoke: fenced old leader accepted a write")
+	} else if !strings.Contains(err.Error(), "fenced") {
+		log.Fatalf("flock-repl-smoke: fenced write rejection not fenced-shaped: %v", err)
+	}
+	fmt.Println("fenced write rejection ok")
+
+	if _, err := adminCall(ctx, oldURL, "/v1/admin/repoint", newURL); err != nil {
+		log.Fatalf("flock-repl-smoke: repoint: %v", err)
+	}
+	target := scrapeGauge(newURL, "flock_wal_last_lsn")
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		applied, err := tryScrapeGauge(oldURL, "flock_repl_apply_lsn")
+		if err == nil && applied >= target {
+			fmt.Printf("old leader rejoined: applied LSN %.0f >= new leader LSN %.0f\n", applied, target)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("flock-repl-smoke: rejoining old leader stuck at LSN %.0f, new leader at %.0f (err %v)", applied, target, err)
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatalf("flock-repl-smoke: canceled waiting for convergence: %v", ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	if epoch := scrapeGauge(oldURL, "flock_repl_epoch"); epoch < 2 {
+		log.Fatalf("flock-repl-smoke: rejoined old leader epoch gauge %.0f, want >= 2", epoch)
+	}
+
+	// Contents agree across the failover boundary.
+	nc, err := flockclient.Dial(ctx, newURL, "repl-smoke-verify")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: dial new leader: %v", err)
+	}
+	defer nc.Close(context.Background())
+	want := countRows(ctx, nc)
+	got := countRows(ctx, oc)
+	if want != got {
+		log.Fatalf("flock-repl-smoke: row count diverged: new leader %d, rejoined old leader %d", want, got)
+	}
+	fmt.Printf("contents converged: %d rows on both\n", want)
+	fmt.Println("flock-repl-smoke fenced: PASS")
+}
+
+func countRows(ctx context.Context, c *flockclient.Client) int64 {
+	res, err := c.Exec(ctx, "SELECT count(*) AS n FROM smoke")
+	if err != nil {
+		log.Fatalf("flock-repl-smoke: count: %v", err)
+	}
+	n, _ := res.Rows[0][0].(int64)
+	return n
+}
+
+// adminCall posts to an admin endpoint with a fresh session, retrying 409s
+// (an armed repl.promote/repl.repoint failpoint, or a transient refusal)
+// for up to 20 attempts. Returns the number of attempts made.
+func adminCall(ctx context.Context, baseURL, path, leader string) (int, error) {
+	c, err := flockclient.Dial(ctx, baseURL, "repl-smoke-admin")
+	if err != nil {
+		return 0, fmt.Errorf("dial for admin session: %w", err)
+	}
+	defer c.Close(context.Background())
+	body := fmt.Sprintf(`{"session":%q}`, c.Session())
+	if leader != "" {
+		body = fmt.Sprintf(`{"session":%q,"leader":%q}`, c.Session(), leader)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= 20; attempt++ {
+		resp, err := http.Post(strings.TrimRight(baseURL, "/")+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			lastErr = err
+		} else {
+			buf := make([]byte, 512)
+			n, _ := resp.Body.Read(buf)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return attempt, nil
+			}
+			lastErr = fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(buf[:n])))
+		}
+		select {
+		case <-ctx.Done():
+			return attempt, ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return 20, lastErr
 }
 
 // scrapeGauge fetches one gauge from a node's /metrics, fatally on any

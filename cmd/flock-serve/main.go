@@ -81,6 +81,7 @@ func main() {
 	replAck := flag.String("repl-ack", "async", "leader ack policy: 'async' acks after local fsync, 'quorum' additionally waits for -repl-quorum follower acks")
 	replQuorum := flag.Int("repl-quorum", 1, "follower acks required per commit under -repl-ack=quorum")
 	replQuorumTimeout := flag.Duration("repl-quorum-timeout", 5*time.Second, "how long a commit waits for quorum before failing as ambiguous")
+	replPeers := flag.String("repl-peers", "", "comma-separated peer base URLs, probed at boot: a restarted ex-leader deposed while down comes back fenced instead of accepting doomed writes")
 	flag.Parse()
 
 	var syncWAL bool
@@ -220,56 +221,72 @@ func main() {
 		srv.AttachReopen(dur.Reopen)
 	}
 
-	// Replication wiring. A primary with a data directory always exposes
-	// the leader endpoints (followers may attach at any time); under
-	// -repl-ack=quorum the commit gate additionally holds client acks until
-	// enough followers confirm. A replica runs the follower loop instead
-	// and gates /readyz on connection and lag.
+	// Replication wiring. Both roles mount a repl.Node, so either can
+	// change roles at runtime: a primary with a data directory starts as
+	// the leader (followers may attach at any time; under -repl-ack=quorum
+	// the commit gate holds client acks until enough followers confirm) and
+	// can be demoted via /v1/admin/repoint; a replica runs the follower
+	// loop, gates /readyz on connection and lag, and can be promoted via
+	// /v1/admin/promote.
 	replCtx, replCancel := context.WithCancel(context.Background())
 	defer replCancel()
-	switch {
-	case replica:
+	if replica || *dataDir != "" {
+		leaderOpts := repl.Options{Token: *replToken, AckTimeout: *replQuorumTimeout}
+		switch *replAck {
+		case "async":
+		case "quorum":
+			leaderOpts.Quorum = *replQuorum
+		default:
+			log.Fatalf("flock-serve: bad -repl-ack %q (want async|quorum)", *replAck)
+		}
 		id := *replicaID
 		if id == "" {
 			id = *addr
 		}
-		follower := repl.NewFollower(flock.DB, *replicaOf, repl.FollowerOptions{
-			ID:    id,
-			Token: *replToken,
-			// Refresh the model registry (and thereby invalidate cached
-			// plans via its generation counter) as shipped frames land.
-			OnApplied: func() {
-				if err := flock.RefreshModels(); err != nil {
-					log.Printf("flock-serve: replica model refresh failed: %v", err)
-				}
+		nodeOpts := repl.NodeOptions{
+			Leader: leaderOpts,
+			Follower: repl.FollowerOptions{
+				ID:    id,
+				Token: *replToken,
+				// Refresh the model registry (and thereby invalidate cached
+				// plans via its generation counter) as shipped frames land.
+				OnApplied: func() {
+					if err := flock.RefreshModels(); err != nil {
+						log.Printf("flock-serve: replica model refresh failed: %v", err)
+					}
+				},
 			},
-		})
-		srv.AttachReplicationFollower(follower)
-		srv.AttachReadiness(func() error {
-			if !follower.Connected() {
-				return fmt.Errorf("replica: not connected to leader %s: %s", *replicaOf, follower.LastError())
-			}
-			if *maxReplicaLag > 0 && follower.Lag() > *maxReplicaLag {
-				return fmt.Errorf("replica: %d frames behind the leader (max %d)", follower.Lag(), *maxReplicaLag)
-			}
-			return nil
-		})
-		go func() { _ = follower.Run(replCtx) }()
-	case *dataDir != "":
-		opts := repl.Options{Token: *replToken, AckTimeout: *replQuorumTimeout}
-		switch *replAck {
-		case "async":
-		case "quorum":
-			opts.Quorum = *replQuorum
-		default:
-			log.Fatalf("flock-serve: bad -repl-ack %q (want async|quorum)", *replAck)
 		}
-		leader := repl.NewLeader(flock.DB, opts)
-		srv.AttachReplicationLeader(leader)
-		if opts.Quorum > 0 {
-			flock.DB.SetCommitGate(leader.Gate)
-			fmt.Printf("flock-serve: quorum acks enabled (%d follower(s), timeout %s)\n", opts.Quorum, *replQuorumTimeout)
+		var node *repl.Node
+		if replica {
+			node = repl.NewFollowerNode(flock.DB, *replicaOf, nodeOpts)
+			srv.AttachReadiness(func() error {
+				f := node.Follower()
+				if f == nil {
+					return nil // promoted: the leader readiness rules apply
+				}
+				if !f.Connected() {
+					return fmt.Errorf("replica: not connected to leader %s: %s", f.Leader(), f.LastError())
+				}
+				if *maxReplicaLag > 0 && f.Lag() > *maxReplicaLag {
+					return fmt.Errorf("replica: %d frames behind the leader (max %d)", f.Lag(), *maxReplicaLag)
+				}
+				return nil
+			})
+		} else {
+			node = repl.NewLeaderNode(flock.DB, nodeOpts)
+			if leaderOpts.Quorum > 0 {
+				fmt.Printf("flock-serve: quorum acks enabled (%d follower(s), timeout %s)\n", leaderOpts.Quorum, *replQuorumTimeout)
+			}
 		}
+		srv.AttachReplicationNode(node)
+		if *replPeers != "" {
+			node.ProbePeers(replCtx, strings.Split(*replPeers, ","))
+			if fenced, observed, source := flock.DB.Fenced(); fenced {
+				fmt.Printf("flock-serve: fenced at boot: epoch %d observed via %s; repoint this node to the new leader\n", observed, source)
+			}
+		}
+		go func() { _ = node.Run(replCtx) }()
 	}
 
 	done := make(chan error, 1)

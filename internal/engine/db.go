@@ -66,6 +66,19 @@ type DB struct {
 	// poisoned, writes fail fast with ErrReadOnly, reads keep serving. Set
 	// by noteWALErr, cleared by a successful ReopenWAL.
 	degraded atomic.Pointer[degradedState]
+	// epoch is the replication leadership generation this node's log belongs
+	// to; epochStart is the last LSN of the previous epoch (frames at or
+	// below it are shared history across a promotion, frames above it belong
+	// to the current generation). 0 means "unknown/legacy"; OpenDirDB
+	// initializes fresh directories at epoch 1. Changed only by promotion,
+	// bootstrap, and WALEpoch replay.
+	epoch      atomic.Int64
+	epochStart atomic.Int64
+	// fenced, when non-nil, marks this node a deposed leader: it observed a
+	// higher epoch, so it must never ack another write. Set by Fence,
+	// cleared only by DemoteToReplica / BootstrapReplica (adopting the new
+	// lineage) — ReopenWAL deliberately refuses to clear it.
+	fenced atomic.Pointer[fencedState]
 	// retiredWAL keeps the closed WAL reachable so a commit whose
 	// durability wait races CloseDurability still resolves against the
 	// final sync's outcome instead of silently acking (see walWaitDurable).

@@ -55,6 +55,9 @@ func (db *DB) checkWritable() error {
 	if r := db.replica.Load(); r != nil {
 		return fmt.Errorf("%w: read-only replica of %s; route writes to the leader", ErrReadOnly, r.leader)
 	}
+	if f := db.fenced.Load(); f != nil {
+		return fmt.Errorf("%w: a newer leader at epoch %d was observed via %s; this deposed leader cannot ack writes (repoint it to the new leader)", ErrFenced, f.observed, f.source)
+	}
 	s := db.degraded.Load()
 	if s == nil {
 		return nil
@@ -93,6 +96,11 @@ func (db *DB) ReopenWAL() error {
 	defer db.commitMu.Unlock()
 	if db.durDir == "" {
 		return fmt.Errorf("engine: ReopenWAL requires a database opened with OpenDirDB")
+	}
+	if f := db.fenced.Load(); f != nil {
+		// Fencing is terminal by design: an operator "fixing" a deposed
+		// leader with a reopen would put two writable nodes on one lineage.
+		return fmt.Errorf("%w: reopen refused; a newer leader at epoch %d exists (observed via %s) — repoint this node to it instead", ErrFenced, f.observed, f.source)
 	}
 
 	// The snapshot is built from memory, not from the poisoned log: memory

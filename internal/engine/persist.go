@@ -43,6 +43,11 @@ type savedDB struct {
 	Log           []LogEntry
 	LogSeq        int64
 	LSN           int64
+	// Epoch and EpochStart carry the replication leadership generation
+	// across restarts and follower bootstraps. Gob leaves them zero when
+	// decoding a pre-epoch snapshot; OpenDirDB then defaults the epoch to 1.
+	Epoch      int64
+	EpochStart int64
 }
 
 // buildSnapshot deep-copies the whole database under the commit barrier.
@@ -65,6 +70,8 @@ func (db *DB) buildSnapshotLocked() savedDB {
 		Log:           append([]LogEntry(nil), db.log...),
 		LogSeq:        db.logSeq,
 		LSN:           db.replayLSN,
+		Epoch:         db.epoch.Load(),
+		EpochStart:    db.epochStart.Load(),
 	}
 	if db.wal != nil {
 		snap.LSN = db.wal.lsn // quiesced: appenders hold commitMu in read mode
@@ -218,6 +225,10 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 	db.log = snap.Log
 	db.logSeq = snap.LogSeq
 	db.replayLSN = snap.LSN
+	if snap.Epoch > 0 {
+		db.epoch.Store(snap.Epoch)
+		db.epochStart.Store(snap.EpochStart)
+	}
 	return nil
 }
 

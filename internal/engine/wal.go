@@ -48,6 +48,7 @@ const (
 	WALInsert                   // committed INSERT batch: Table + Rows
 	WALReplace                  // committed UPDATE/DELETE/bulk-load rebuild: Table + Cols
 	WALLog                      // query-log append: Entry
+	WALEpoch                    // leadership epoch transition: Epoch (replication failover)
 )
 
 // WALRecord is one committed statement in the write-ahead log. Exactly the
@@ -60,6 +61,10 @@ type WALRecord struct {
 	Rows   [][]Value
 	Cols   []Column
 	Entry  *LogEntry
+	// Epoch is set only on WALEpoch records: the leadership generation that
+	// begins at this LSN. Shipping the record in-band teaches every follower
+	// the new epoch through the ordinary apply path.
+	Epoch int64
 }
 
 // File-layout names inside a durable data directory.
@@ -531,6 +536,12 @@ func OpenDirDB(dir string, syncWAL bool) (*DB, RecoveryInfo, error) {
 	// snapshot (or by nothing, on a fresh directory where info.LSN is 0):
 	// that is the shipping horizon until the next checkpoint moves it.
 	db.walHorizon = info.LSN
+	// A directory that never recorded an epoch (fresh, or written before
+	// epochs existed) starts at generation 1; a directory that lived through
+	// a promotion recovered its epoch from the snapshot or a WALEpoch frame.
+	if db.epoch.Load() == 0 {
+		db.epoch.Store(1)
+	}
 	info.Duration = time.Since(start)
 	return db, info, nil
 }
@@ -656,6 +667,18 @@ func (db *DB) applyWALRecord(rec *WALRecord) error {
 			db.logSeq = rec.Entry.Seq
 		}
 		db.mu.Unlock()
+	case WALEpoch:
+		// The epoch check precedes the LSN bookkeeping: a transition record
+		// from a stale generation must never move this node's epoch backward.
+		if rec.Epoch <= 0 {
+			return fmt.Errorf("engine: wal epoch record without epoch (lsn %d)", rec.LSN)
+		}
+		if cur := db.epoch.Load(); rec.Epoch < cur {
+			return fmt.Errorf("%w: wal epoch record %d below current epoch %d (lsn %d)", ErrStaleEpoch, rec.Epoch, cur, rec.LSN)
+		} else if rec.Epoch > cur {
+			db.epoch.Store(rec.Epoch)
+			db.epochStart.Store(rec.LSN - 1)
+		}
 	default:
 		return fmt.Errorf("engine: unknown wal record kind %d (lsn %d)", rec.Kind, rec.LSN)
 	}

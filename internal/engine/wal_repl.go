@@ -317,6 +317,13 @@ func (db *DB) ApplyReplicated(payload []byte) (lsn int64, err error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
 		return 0, fmt.Errorf("engine: replicated frame decode: %w", err)
 	}
+	// The epoch gate runs before any LSN comparison: an epoch-transition
+	// record from a superseded generation must never enter the local log,
+	// not even as an "idempotent duplicate" — its LSN may collide with a
+	// frame of the live lineage while carrying different history.
+	if rec.Kind == WALEpoch && rec.Epoch < db.epoch.Load() {
+		return 0, fmt.Errorf("%w: shipped epoch record %d below local epoch %d (lsn %d)", ErrStaleEpoch, rec.Epoch, db.epoch.Load(), rec.LSN)
+	}
 	db.applyMu.Lock()
 	defer db.applyMu.Unlock()
 	db.commitMu.RLock()
@@ -400,6 +407,14 @@ func (db *DB) BootstrapReplica(snapshot []byte) error {
 	db.mu.Unlock()
 	db.replayLSN = scratch.replayLSN
 	db.walHorizon = scratch.replayLSN
+	// Adopt the snapshot's leadership generation: a bootstrap from a
+	// post-promotion leader is exactly how a deposed node (its divergent
+	// tail now discarded) rejoins the new lineage, so any fence clears.
+	if e := scratch.epoch.Load(); e > 0 {
+		db.epoch.Store(e)
+		db.epochStart.Store(scratch.epochStart.Load())
+	}
+	db.fenced.Store(nil)
 
 	w, err := createWAL(filepath.Join(db.durDir, walFile), db.walSync, scratch.replayLSN)
 	if err != nil {

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// EpochGate enforces the PR 9 failover contract: replication code must
+// check leadership epochs before LSN positions. A stale-epoch stream can
+// carry LSNs that look perfectly plausible — the old leader's log grew
+// past the promotion point — so any code path that compares LSN windows
+// first, or applies shipped state and records acks without an epoch gate
+// at all, can graft a superseded lineage onto the live one.
+var EpochGate = &analysis.Analyzer{
+	Name: "epochgate",
+	Doc: `epoch checks must precede LSN checks in replication code
+
+Inside repro/internal/repl, a function that compares both epochs and
+LSNs must perform the epoch comparison first, and a function that
+reaches an apply/ack sink (ApplyReplicated, BootstrapReplica,
+recordAck) must pass an epoch gate — an epoch comparison or a
+fence/epoch helper call — before the sink (epoch-before-LSN invariant,
+PR 9).`,
+	Run: runEpochGate,
+}
+
+func runEpochGate(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass, "repro/internal/repl") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEpochBeforeLSN(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// replSinkNames are the calls through which shipped replication state
+// takes effect: applying a frame, adopting a snapshot, counting an ack.
+var replSinkNames = map[string]bool{
+	"ApplyReplicated":  true,
+	"BootstrapReplica": true,
+	"recordAck":        true,
+}
+
+// exprMentions reports whether any identifier under e contains sub
+// (case-insensitive): "lsn" matches FromLSN, AppliedLSN, lsn; "epoch"
+// matches Epoch, respEpoch, EpochStart.
+func exprMentions(e ast.Expr, sub string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), sub) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// checkEpochBeforeLSN walks one function and enforces both halves of the
+// invariant. Classification: a comparison touching an LSN identifier is
+// an LSN check even when the other side is epoch-derived (req.FromLSN >
+// EpochStart() is LSN bookkeeping); a comparison touching only epoch
+// identifiers is the epoch gate. Calls whose callee mentions epoch or
+// fence (fenceOnHigherEpoch, Fence, Epoch) also count as the gate, so
+// centralized helpers satisfy callers.
+func checkEpochBeforeLSN(pass *analysis.Pass, fd *ast.FuncDecl) {
+	firstEpochCmp := token.NoPos
+	firstLSNCmp := token.NoPos
+	firstGuard := token.NoPos // earliest epoch comparison or fence/epoch call
+	var sinks []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if !isComparisonOp(x.Op) {
+				return true
+			}
+			mLSN := exprMentions(x, "lsn")
+			mEpoch := exprMentions(x, "epoch")
+			switch {
+			case mEpoch && !mLSN:
+				if !firstEpochCmp.IsValid() {
+					firstEpochCmp = x.Pos()
+				}
+				if !firstGuard.IsValid() || x.Pos() < firstGuard {
+					firstGuard = x.Pos()
+				}
+			case mLSN:
+				if !firstLSNCmp.IsValid() {
+					firstLSNCmp = x.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if replSinkNames[name] {
+				sinks = append(sinks, x)
+				return true
+			}
+			lower := strings.ToLower(name)
+			if strings.Contains(lower, "epoch") || strings.Contains(lower, "fence") {
+				if !firstGuard.IsValid() || x.Pos() < firstGuard {
+					firstGuard = x.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	if firstEpochCmp.IsValid() && firstLSNCmp.IsValid() && firstLSNCmp < firstEpochCmp {
+		pass.Reportf(firstLSNCmp, "LSN comparison precedes the epoch check in %s: a stale-epoch stream with a plausible LSN window slips through — gate on the epoch first (epoch-before-LSN invariant, PR 9)", fd.Name.Name)
+	}
+	for _, sink := range sinks {
+		if !firstGuard.IsValid() || firstGuard > sink.Pos() {
+			pass.Reportf(sink.Pos(), "%s applies replicated state without a preceding epoch gate: compare epochs (or call a fence helper) before the sink, or a deposed leader's frames get applied (epoch-before-LSN invariant, PR 9)", calleeName(sink))
+		}
+	}
+}

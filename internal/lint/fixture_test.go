@@ -167,3 +167,4 @@ func TestFaultPointFixture(t *testing.T)      { runFixture(t, FaultPoint) }
 func TestCloseCheckFixture(t *testing.T)      { runFixture(t, CloseCheck) }
 func TestRetryIdempotentFixture(t *testing.T) { runFixture(t, RetryIdempotent) }
 func TestIgnoreCheckFixture(t *testing.T)     { runFixture(t, IgnoreCheck) }
+func TestEpochGateFixture(t *testing.T)       { runFixture(t, EpochGate) }

@@ -29,6 +29,7 @@ func Analyzers() []*analysis.Analyzer {
 		AckAfterSync,
 		CloseCheck,
 		CtxLoop,
+		EpochGate,
 		FaultPoint,
 		IgnoreCheck,
 		LockOrder,

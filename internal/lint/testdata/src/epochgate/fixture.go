@@ -1,0 +1,102 @@
+// Fixture for the epochgate analyzer: replication code must gate on the
+// leadership epoch before trusting any LSN, and apply/ack sinks must sit
+// behind an epoch gate.
+package epochgate_fixture
+
+type db struct{ epoch int64 }
+
+func (d *db) Epoch() int64                            { return d.epoch }
+func (d *db) ApplyReplicated(p []byte) (int64, error) { return 0, nil }
+func (d *db) BootstrapReplica(b []byte) error         { return nil }
+
+type leader struct{ db *db }
+
+func (l *leader) recordAck(id string, lsn int64) {}
+
+type shipReq struct {
+	Epoch   int64
+	FromLSN int64
+}
+
+// Applying shipped frames with no epoch gate anywhere: a deposed
+// leader's stream is applied as if it were live.
+func (d *db) badApplyNoGate(frames [][]byte, applied int64) {
+	for _, p := range frames {
+		if lsn, _ := d.ApplyReplicated(p); lsn > applied { // want `without a preceding epoch gate`
+			applied = lsn
+		}
+	}
+}
+
+// The gate exists but runs after the frames already applied: too late.
+func (d *db) badGateTooLate(frames [][]byte, remote int64) bool {
+	for _, p := range frames {
+		_, _ = d.ApplyReplicated(p) // want `without a preceding epoch gate`
+	}
+	return remote < d.epoch
+}
+
+// Checking the LSN window before the epoch: a stale-epoch request whose
+// LSNs happen to look plausible slips through the first check.
+func (l *leader) badLSNFirst(req shipReq) bool {
+	if req.FromLSN > 100 { // want `LSN comparison precedes the epoch check`
+		return false
+	}
+	if req.Epoch < l.db.epoch {
+		return false
+	}
+	return true
+}
+
+// Counting an ack without ever looking at its epoch lets a stale
+// follower satisfy the quorum of the wrong generation.
+func (l *leader) badAckNoGate(req shipReq) {
+	l.recordAck("f", req.FromLSN) // want `without a preceding epoch gate`
+}
+
+// Epoch gate first, then LSN bookkeeping and the sink: the required
+// shape.
+func (l *leader) goodGateFirst(req shipReq) bool {
+	if req.Epoch < l.db.epoch {
+		return false
+	}
+	if req.FromLSN > 100 {
+		return false
+	}
+	l.recordAck("f", req.FromLSN)
+	return true
+}
+
+// A centralized fence helper counts as the gate for its callers.
+func (l *leader) fenceOnHigherEpoch(remote int64) bool { return remote > l.db.epoch }
+
+func (l *leader) goodFenceHelper(req shipReq) {
+	if l.fenceOnHigherEpoch(req.Epoch) {
+		return
+	}
+	l.recordAck("f", req.FromLSN)
+}
+
+// Comparing an LSN against an epoch boundary is still an LSN check: it
+// must come after the true epoch comparison (and here it does).
+func (l *leader) goodBoundaryAfterGate(req shipReq, epochStart int64) bool {
+	if req.Epoch != 0 && req.Epoch < l.db.epoch && req.FromLSN > epochStart {
+		return true // diverged
+	}
+	return false
+}
+
+// An audited exception: the suppression carries its justification.
+func (l *leader) suppressedLagReport(req shipReq) {
+	//flockvet:ignore epochgate lag metrics read acks without gating; the caller fenced already
+	l.recordAck("f", req.FromLSN)
+}
+
+// Pure LSN bookkeeping with no epoch in sight is out of the invariant's
+// reach.
+func lagFrames(last, acked int64) int64 {
+	if acked > last {
+		return 0
+	}
+	return last - acked
+}

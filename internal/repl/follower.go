@@ -52,9 +52,11 @@ type FollowerOptions struct {
 // fallen behind the leader's checkpoint horizon it bootstraps from the
 // leader snapshot.
 type Follower struct {
-	db     *engine.DB
-	leader string
-	opts   FollowerOptions
+	db   *engine.DB
+	opts FollowerOptions
+
+	leaderMu sync.Mutex
+	leader   string
 
 	connected     atomic.Bool
 	leaderLast    atomic.Int64
@@ -89,6 +91,23 @@ func NewFollower(db *engine.DB, leaderURL string, opts FollowerOptions) *Followe
 		opts.Client = &http.Client{Timeout: 30 * time.Second}
 	}
 	return &Follower{db: db, leader: strings.TrimRight(leaderURL, "/"), opts: opts}
+}
+
+// Leader reports the base URL this follower currently tails.
+func (f *Follower) Leader() string {
+	f.leaderMu.Lock()
+	defer f.leaderMu.Unlock()
+	return f.leader
+}
+
+// SetLeader re-points the follower at a new leader base URL; the next
+// replication round tails it. The engine-side divergence handling ((epoch,
+// LSN) comparison on the new leader, 409 → bootstrap) makes the switch safe
+// mid-stream.
+func (f *Follower) SetLeader(url string) {
+	f.leaderMu.Lock()
+	defer f.leaderMu.Unlock()
+	f.leader = strings.TrimRight(url, "/")
 }
 
 // Run replicates until ctx is canceled, reconnecting on every failure.
@@ -138,6 +157,7 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 		MaxBytes: f.opts.MaxBatchBytes,
 		WaitMS:   f.opts.PollWait.Milliseconds(),
 		Follower: f.opts.ID,
+		Epoch:    f.db.Epoch(),
 	})
 	resp, err := f.post(ctx, PathWAL, reqBody)
 	if err != nil {
@@ -148,13 +168,21 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 	case http.StatusOK:
 		// fall through to apply
 	case http.StatusConflict:
-		// Our position predates the leader's retention horizon: the frames
-		// we need were folded into the snapshot. Rebase onto it.
+		// Our position predates the leader's retention horizon (the frames
+		// we need were folded into the snapshot), or our tail diverged from
+		// the leader's lineage. Rebase onto the snapshot in both cases.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		return f.bootstrap(ctx)
 	default:
 		return fmt.Errorf("repl: leader %s: %s", PathWAL, readWireError(resp))
+	}
+	// Epoch gate before any frame is applied: a response stamped with a
+	// lower epoch than ours comes from a deposed leader, and applying its
+	// frames would graft a superseded lineage onto this log.
+	if respEpoch, perr := strconv.ParseInt(resp.Header.Get(HeaderEpoch), 10, 64); perr == nil &&
+		respEpoch != 0 && respEpoch < f.db.Epoch() {
+		return fmt.Errorf("%w: leader at epoch %d, local epoch %d", ErrStaleLeader, respEpoch, f.db.Epoch())
 	}
 	if v, err := strconv.ParseInt(resp.Header.Get(HeaderLastLSN), 10, 64); err == nil {
 		f.leaderLast.Store(v)
@@ -215,6 +243,12 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("repl: snapshot read: %w", err)
 	}
+	// Epoch gate before the image is installed: never rebase onto a deposed
+	// leader's snapshot.
+	if respEpoch, perr := strconv.ParseInt(resp.Header.Get(HeaderEpoch), 10, 64); perr == nil &&
+		respEpoch != 0 && respEpoch < f.db.Epoch() {
+		return fmt.Errorf("%w: snapshot from epoch %d, local epoch %d", ErrStaleLeader, respEpoch, f.db.Epoch())
+	}
 	if err := f.db.BootstrapReplica(blob); err != nil {
 		return err
 	}
@@ -230,7 +264,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 
 // ack reports the applied LSN to the leader (feeds quorum and lag).
 func (f *Follower) ack(ctx context.Context, lsn int64) error {
-	reqBody, _ := json.Marshal(map[string]any{"follower": f.opts.ID, "applied_lsn": lsn})
+	reqBody, _ := json.Marshal(map[string]any{"follower": f.opts.ID, "applied_lsn": lsn, "epoch": f.db.Epoch()})
 	resp, err := f.post(ctx, PathAck, reqBody)
 	if err != nil {
 		return err
@@ -245,7 +279,7 @@ func (f *Follower) ack(ctx context.Context, lsn int64) error {
 }
 
 func (f *Follower) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.leader+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.Leader()+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -290,6 +324,8 @@ func (f *Follower) Lag() int64 {
 // ReplicaStatus is the follower's status report (exposed by the serving
 // layer on /v1/repl/status in replica mode).
 type ReplicaStatus struct {
+	Role          string `json:"role"` // always "replica"
+	Epoch         int64  `json:"epoch"`
 	Leader        string `json:"leader"`
 	ID            string `json:"id"`
 	Connected     bool   `json:"connected"`
@@ -304,7 +340,9 @@ type ReplicaStatus struct {
 // CurrentStatus snapshots the follower's replication state.
 func (f *Follower) CurrentStatus() ReplicaStatus {
 	return ReplicaStatus{
-		Leader:        f.leader,
+		Role:          "replica",
+		Epoch:         f.db.Epoch(),
+		Leader:        f.Leader(),
 		ID:            f.opts.ID,
 		Connected:     f.connected.Load(),
 		AppliedLSN:    f.db.AppliedLSN(),
@@ -330,6 +368,8 @@ func (f *Follower) Gauges() map[string]float64 {
 		connected = 1
 	}
 	return map[string]float64{
+		"flock_repl_epoch":                float64(f.db.Epoch()),
+		"flock_repl_role":                 0, // 1 = leader, 0 = replica, -1 = fenced
 		"flock_repl_apply_lsn":            float64(f.db.AppliedLSN()),
 		"flock_repl_connected":            connected,
 		"flock_repl_lag_frames":           float64(f.Lag()),

@@ -170,6 +170,30 @@ type walRequest struct {
 	MaxBytes int    `json:"max_bytes"`
 	WaitMS   int64  `json:"wait_ms"`
 	Follower string `json:"follower"`
+	// Epoch is the follower's leadership epoch (0 from pre-epoch
+	// followers). A higher epoch than the leader's own fences the leader.
+	Epoch int64 `json:"epoch"`
+}
+
+// fenceOnHigherEpoch deposes this leader when a request carries a higher
+// epoch than its own, and reports (with a 503 written) whether the node is
+// fenced — deposed leaders must neither ship frames, serve bootstrap
+// images, nor record acks: any of those could resurrect acked-nowhere
+// history or count a stale generation toward quorum.
+func (l *Leader) fenceOnHigherEpoch(w http.ResponseWriter, remoteEpoch int64, source string) (fenced bool) {
+	if remoteEpoch > l.db.Epoch() {
+		_ = fault.Inject(FaultFence) // arm with latency to widen fence races in chaos schedules
+		l.db.Fence(remoteEpoch, source)
+	}
+	down, observed, via := l.db.Fenced()
+	if !down {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error": fmt.Sprintf("repl: fenced: this node was deposed by epoch %d (observed via %s); repoint to the new leader", observed, via),
+		"epoch": l.db.Epoch(),
+	})
+	return true
 }
 
 // HandleWAL serves one shipped batch: frames in (from_lsn, durable],
@@ -188,6 +212,24 @@ func (l *Leader) HandleWAL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.noteFollower(req.Follower)
+	// Epoch gate before any LSN work. A higher-epoch requester deposes this
+	// leader; a fenced leader's tail past the fold point is acked-nowhere
+	// history and must never ship.
+	if l.fenceOnHigherEpoch(w, req.Epoch, fmt.Sprintf("ship request from follower %q", req.Follower)) {
+		return
+	}
+	if epoch := l.db.Epoch(); req.Epoch != 0 && req.Epoch < epoch && req.FromLSN > l.db.EpochStart() {
+		// The requester's log extends past the promotion fold point under a
+		// superseded epoch: that tail was acked nowhere. Route it through a
+		// snapshot bootstrap, which discards the divergent frames.
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("repl: diverged: follower %q at LSN %d under stale epoch %d (epoch %d began after LSN %d); re-bootstrap from the snapshot",
+				req.Follower, req.FromLSN, req.Epoch, epoch, l.db.EpochStart()),
+			"snapshot_lsn": l.db.WALHorizon(),
+			"diverged":     true,
+		})
+		return
+	}
 	maxBytes := req.MaxBytes
 	if maxBytes <= 0 || maxBytes > l.opts.MaxBatchBytes {
 		maxBytes = l.opts.MaxBatchBytes
@@ -264,6 +306,7 @@ func (l *Leader) HandleWAL(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(HeaderLastLSN, fmt.Sprint(last))
 	w.Header().Set(HeaderDurableLSN, fmt.Sprint(durable))
+	w.Header().Set(HeaderEpoch, fmt.Sprint(l.db.Epoch()))
 	if _, err := w.Write(body); err != nil {
 		l.shipErrs.Add(1)
 		return
@@ -288,6 +331,11 @@ func (l *Leader) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	_ = json.NewDecoder(r.Body).Decode(&req)
 	l.noteFollower(req.Follower)
+	// A fenced leader's checkpoint may already have folded divergent tail
+	// frames; bootstrapping a follower from it would spread them.
+	if l.fenceOnHigherEpoch(w, 0, "") {
+		return
+	}
 	blob, lsn, err := l.db.SnapshotForShip()
 	if err != nil {
 		// No checkpoint has run yet: the whole history is still in the log
@@ -297,6 +345,7 @@ func (l *Leader) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(HeaderSnapLSN, fmt.Sprint(lsn))
+	w.Header().Set(HeaderEpoch, fmt.Sprint(l.db.Epoch()))
 	if _, err := w.Write(blob); err != nil {
 		return
 	}
@@ -313,6 +362,7 @@ func (l *Leader) HandleAck(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Follower   string `json:"follower"`
 		AppliedLSN int64  `json:"applied_lsn"`
+		Epoch      int64  `json:"epoch"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		replError(w, http.StatusBadRequest, fmt.Errorf("repl: bad ack: %w", err))
@@ -320,6 +370,20 @@ func (l *Leader) HandleAck(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Follower == "" {
 		replError(w, http.StatusBadRequest, errors.New("repl: ack requires a follower id"))
+		return
+	}
+	// Epoch check before the ack LSN is recorded: an ack from a higher
+	// epoch fences this leader, and a stale-epoch ack must never count
+	// toward quorum (it acknowledges a superseded lineage's frames).
+	if l.fenceOnHigherEpoch(w, req.Epoch, fmt.Sprintf("ack from follower %q", req.Follower)) {
+		return
+	}
+	if epoch := l.db.Epoch(); req.Epoch != 0 && req.Epoch < epoch {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("repl: stale epoch ack from follower %q (epoch %d, current %d); not counted toward quorum",
+				req.Follower, req.Epoch, epoch),
+			"epoch": epoch,
+		})
 		return
 	}
 	l.recordAck(req.Follower, req.AppliedLSN)
@@ -336,6 +400,9 @@ type FollowerStatus struct {
 
 // Status is the leader's replication status report (GET /v1/repl/status).
 type Status struct {
+	Role       string           `json:"role"` // "leader" or "fenced"
+	Epoch      int64            `json:"epoch"`
+	EpochStart int64            `json:"epoch_start"`
 	LastLSN    int64            `json:"last_lsn"`
 	DurableLSN int64            `json:"durable_lsn"`
 	Horizon    int64            `json:"horizon"`
@@ -348,10 +415,16 @@ type Status struct {
 // CurrentStatus snapshots the leader's replication state.
 func (l *Leader) CurrentStatus() Status {
 	st := Status{
+		Role:       "leader",
+		Epoch:      l.db.Epoch(),
+		EpochStart: l.db.EpochStart(),
 		LastLSN:    l.db.LastLSN(),
 		DurableLSN: l.db.DurableLSN(),
 		Horizon:    l.db.WALHorizon(),
 		AckPolicy:  "async",
+	}
+	if down, _, _ := l.db.Fenced(); down {
+		st.Role = "fenced"
 	}
 	if l.opts.Quorum > 0 {
 		st.AckPolicy = "quorum"
@@ -388,7 +461,13 @@ func (l *Leader) HandleStatus(w http.ResponseWriter, r *http.Request) {
 // Gauges exports the leader-side replication metrics for /metrics.
 func (l *Leader) Gauges() map[string]float64 {
 	st := l.CurrentStatus()
+	role := 1.0 // 1 = leader, 0 = replica, -1 = fenced
+	if st.Role == "fenced" {
+		role = -1
+	}
 	g := map[string]float64{
+		"flock_repl_epoch":                   float64(st.Epoch),
+		"flock_repl_role":                    role,
 		"flock_repl_followers":               float64(len(st.Followers)),
 		"flock_repl_quorum":                  float64(l.opts.Quorum),
 		"flock_repl_quorum_lsn":              float64(st.QuorumLSN),

@@ -1,0 +1,320 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+)
+
+// Node composes the leader and follower halves of replication behind one
+// role state machine, so a process can change roles at runtime: a follower
+// can be promoted into the leader of a new epoch, a leader (typically a
+// fenced one) can be demoted and re-pointed at the new leader, and a
+// follower can be re-pointed without restarting. The serving layer mounts
+// one Node and the role decides which handlers answer.
+//
+// Role transitions:
+//
+//	follower --Promote--> leader      (engine.PromoteToLeader, epoch+1)
+//	leader   --Repoint--> follower    (engine.DemoteToReplica; fence clears)
+//	follower --Repoint--> follower    (re-target the tailing loop)
+//
+// Every transition holds the node lock, so concurrent admin calls
+// serialize; the underlying engine transitions hold the commit barrier and
+// are individually crash-safe, so at most one writable node exists under
+// any schedule.
+type Node struct {
+	db   *engine.DB
+	opts NodeOptions
+
+	mu       sync.Mutex
+	leader   *Leader
+	follower *Follower
+	runCtx   context.Context    // the Run lifetime; parents follower loops
+	loopStop context.CancelFunc // stops the current follower loop
+	loopDone chan struct{}      // closed when the current follower loop exits
+
+	promotions atomic.Int64
+	repoints   atomic.Int64
+}
+
+// NodeOptions configures both halves of a Node; only the half matching the
+// current role is active.
+type NodeOptions struct {
+	Leader   Options
+	Follower FollowerOptions
+}
+
+// NewLeaderNode builds a Node that starts as the leader. The quorum commit
+// gate (when configured) is installed immediately.
+func NewLeaderNode(db *engine.DB, opts NodeOptions) *Node {
+	n := &Node{db: db, opts: opts}
+	n.leader = NewLeader(db, opts.Leader)
+	if n.leader.Quorum() > 0 {
+		db.SetCommitGate(n.leader.Gate)
+	}
+	return n
+}
+
+// NewFollowerNode builds a Node that starts as a follower tailing
+// leaderURL. The db must already be in replica mode.
+func NewFollowerNode(db *engine.DB, leaderURL string, opts NodeOptions) *Node {
+	n := &Node{db: db, opts: opts}
+	n.follower = NewFollower(db, leaderURL, opts.Follower)
+	return n
+}
+
+// Run owns the node's replication lifetime: it starts the tailing loop when
+// the node is (or becomes) a follower and returns when ctx is canceled.
+func (n *Node) Run(ctx context.Context) error {
+	n.mu.Lock()
+	n.runCtx = ctx
+	if n.follower != nil {
+		n.startLoopLocked()
+	}
+	n.mu.Unlock()
+	<-ctx.Done()
+	n.mu.Lock()
+	n.stopLoopLocked()
+	n.mu.Unlock()
+	return ctx.Err()
+}
+
+// startLoopLocked spawns the follower tailing loop under a child context.
+func (n *Node) startLoopLocked() {
+	if n.runCtx == nil || n.follower == nil || n.loopStop != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(n.runCtx)
+	done := make(chan struct{})
+	n.loopStop, n.loopDone = cancel, done
+	f := n.follower
+	go func() {
+		defer close(done)
+		_ = f.Run(ctx)
+	}()
+}
+
+// stopLoopLocked stops the follower loop and waits for it to exit, so no
+// stale loop applies frames after a role change.
+func (n *Node) stopLoopLocked() {
+	if n.loopStop == nil {
+		return
+	}
+	n.loopStop()
+	<-n.loopDone
+	n.loopStop, n.loopDone = nil, nil
+}
+
+// Promote turns this follower into the leader of a new epoch: the tailing
+// loop stops, the engine folds the replayed state into a fresh epoch+1
+// snapshot+WAL and opens the write gate, and the leader half (with its
+// quorum gate, when configured) takes over the replication endpoints.
+// Idempotent on an already-promoted node. On failure the node resumes
+// tailing: it is never left half-promoted.
+func (n *Node) Promote(ctx context.Context) (int64, error) {
+	if err := fault.Inject(FaultPromote); err != nil {
+		return 0, fmt.Errorf("repl: promote aborted: %w", err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leader != nil && n.follower == nil {
+		return n.db.Epoch(), nil
+	}
+	if n.follower == nil {
+		return 0, errors.New("repl: promote: node has no replication role")
+	}
+	n.stopLoopLocked()
+	epoch, err := n.db.PromoteToLeader()
+	if err != nil {
+		// Still a replica (PromoteToLeader's contract); resume tailing so a
+		// failed promotion degrades to "still a follower", not "stuck".
+		n.startLoopLocked()
+		return 0, err
+	}
+	n.follower = nil
+	n.leader = NewLeader(n.db, n.opts.Leader)
+	if n.leader.Quorum() > 0 {
+		n.db.SetCommitGate(n.leader.Gate)
+	}
+	n.promotions.Add(1)
+	return epoch, nil
+}
+
+// Repoint re-targets this node at leaderURL. A follower swaps the URL its
+// tailing loop polls; a leader (typically a fenced ex-leader rejoining the
+// new lineage) demotes to a read-only replica first — its commit gate is
+// removed and the fence clears. A diverged unreplicated tail is detected by
+// the new leader's (epoch, LSN) comparison and resolved by the follower's
+// existing 409 → bootstrap path, which discards the tail.
+func (n *Node) Repoint(ctx context.Context, leaderURL string) error {
+	if err := fault.Inject(FaultRepoint); err != nil {
+		return fmt.Errorf("repl: repoint aborted: %w", err)
+	}
+	leaderURL = strings.TrimRight(leaderURL, "/")
+	if leaderURL == "" {
+		return errors.New("repl: repoint requires a leader URL")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.follower != nil {
+		n.follower.SetLeader(leaderURL)
+		n.startLoopLocked() // no-op when the loop is already running
+		n.repoints.Add(1)
+		return nil
+	}
+	if n.leader == nil {
+		return errors.New("repl: repoint: node has no replication role")
+	}
+	n.db.SetCommitGate(nil)
+	n.db.DemoteToReplica(leaderURL)
+	n.leader = nil
+	n.follower = NewFollower(n.db, leaderURL, n.opts.Follower)
+	n.startLoopLocked()
+	n.repoints.Add(1)
+	return nil
+}
+
+// Role reports the node's current role: "leader", "fenced" (a deposed
+// leader that cannot ack writes), or "replica".
+func (n *Node) Role() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.roleLocked()
+}
+
+func (n *Node) roleLocked() string {
+	if n.follower != nil {
+		return "replica"
+	}
+	if down, _, _ := n.db.Fenced(); down {
+		return "fenced"
+	}
+	return "leader"
+}
+
+// Epoch reports the node's current leadership epoch.
+func (n *Node) Epoch() int64 { return n.db.Epoch() }
+
+// Follower returns the follower half when the node is a replica (nil
+// otherwise) — the lag and connectivity source for readiness gating.
+func (n *Node) Follower() *Follower {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.follower
+}
+
+// ProbePeers asks each peer for its replication status and fences this
+// node if any peer reports a higher epoch. Run at boot on a leader: a
+// crashed-and-restarted ex-leader whose cluster elected a new leader while
+// it was down comes back fenced instead of accepting doomed writes. Probe
+// failures are ignored (the peer may simply be down); in-band fencing via
+// ship/ack requests still applies later.
+func (n *Node) ProbePeers(ctx context.Context, peers []string) {
+	client := n.opts.Follower.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	for _, peer := range peers {
+		peer = strings.TrimRight(peer, "/")
+		if peer == "" {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+PathStatus, nil)
+		if err != nil {
+			continue
+		}
+		if n.opts.Follower.Token != "" {
+			req.Header.Set(HeaderToken, n.opts.Follower.Token)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		var st struct {
+			Epoch int64 `json:"epoch"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if st.Epoch > n.db.Epoch() {
+			n.db.Fence(st.Epoch, fmt.Sprintf("boot status probe of peer %s", peer))
+		}
+	}
+}
+
+// CurrentStatus snapshots whichever half is active, as an any for JSON
+// serving (Status for a leader, ReplicaStatus for a replica).
+func (n *Node) CurrentStatus() any {
+	n.mu.Lock()
+	l, f := n.leader, n.follower
+	n.mu.Unlock()
+	if f != nil {
+		return f.CurrentStatus()
+	}
+	return l.CurrentStatus()
+}
+
+// Gauges exports the active half's metrics plus the role-transition
+// counters.
+func (n *Node) Gauges() map[string]float64 {
+	n.mu.Lock()
+	l, f := n.leader, n.follower
+	n.mu.Unlock()
+	var g map[string]float64
+	if f != nil {
+		g = f.Gauges()
+	} else {
+		g = l.Gauges()
+	}
+	g["flock_repl_promotions_total"] = float64(n.promotions.Load())
+	g["flock_repl_repoints_total"] = float64(n.repoints.Load())
+	return g
+}
+
+// Register mounts the replication endpoints with role-aware dispatch: the
+// ship/snapshot/ack endpoints only answer while the node leads (a replica
+// answers 503 with an X-Flock-Leader hint so a mispointed follower finds
+// the right node), and /v1/repl/status serves whichever half is active.
+func (n *Node) Register(mux *http.ServeMux) {
+	leaderOnly := func(h func(*Leader, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			n.mu.Lock()
+			l, f := n.leader, n.follower
+			n.mu.Unlock()
+			if l == nil {
+				if f != nil {
+					w.Header().Set("X-Flock-Leader", f.Leader())
+				}
+				replError(w, http.StatusServiceUnavailable,
+					errors.New("repl: not the leader; follow X-Flock-Leader"))
+				return
+			}
+			h(l, w, r)
+		}
+	}
+	mux.HandleFunc("POST "+PathWAL, leaderOnly((*Leader).HandleWAL))
+	mux.HandleFunc("POST "+PathSnapshot, leaderOnly((*Leader).HandleSnapshot))
+	mux.HandleFunc("POST "+PathAck, leaderOnly((*Leader).HandleAck))
+	mux.HandleFunc("GET "+PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		l := n.leader
+		n.mu.Unlock()
+		if l != nil && !tokenOK(l.opts.Token, r) {
+			replError(w, http.StatusUnauthorized, errors.New("repl: bad replication token"))
+			return
+		}
+		writeJSON(w, http.StatusOK, n.CurrentStatus())
+	})
+}

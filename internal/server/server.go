@@ -17,6 +17,8 @@
 //	POST   /v1/cursor/fetch    {session, cursor, max_rows, timeout_ms} -> {columns, rows, done}
 //	POST   /v1/cursor/close    {session, cursor}        -> 204
 //	POST   /v1/admin/reopen    {session}                -> {"status":"ok"} (recover a degraded instance)
+//	POST   /v1/admin/promote   {session}                -> {"status":"ok", epoch} (promote this replica to leader)
+//	POST   /v1/admin/repoint   {session, leader}        -> {"status":"ok"} (re-point this node at a new leader)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            {"status":"ok"} (liveness: the process serves)
 //	GET    /readyz             {"status":"ready"} | 503 {"status":"degraded", ...} (readiness: writes accepted)
@@ -180,6 +182,11 @@ type Server struct {
 	// to 503 with its message.
 	readyMu     sync.Mutex
 	readyChecks []func() error
+
+	// replNode, when attached, backs the promote/repoint admin endpoints
+	// and enriches /readyz with the node's replication role and epoch.
+	replMu   sync.Mutex
+	replNode *repl.Node
 }
 
 // New assembles a server over flock. Call Serve/ListenAndServe to accept
@@ -286,13 +293,54 @@ func (s *Server) AttachReplicationFollower(f *repl.Follower) {
 	s.AttachGauges(f.Gauges)
 }
 
+// AttachReplicationNode mounts a role-switching replication node: the
+// role-aware replication endpoints, the node gauges, and the promote /
+// repoint admin endpoints that drive failover at runtime. Supersedes the
+// fixed-role attach methods for deployments that may change roles.
+func (s *Server) AttachReplicationNode(n *repl.Node) {
+	s.replMu.Lock()
+	s.replNode = n
+	s.replMu.Unlock()
+	n.Register(s.mux)
+	s.AttachGauges(n.Gauges)
+	s.mux.HandleFunc("POST /v1/admin/promote", s.handleAdminPromote)
+	s.mux.HandleFunc("POST /v1/admin/repoint", s.handleAdminRepoint)
+}
+
+func (s *Server) replicationNode() *repl.Node {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replNode
+}
+
 // handleReadyz is the readiness probe: 200 while the instance accepts
 // writes, 503 with the degradation reason once the WAL is poisoned and the
 // DB is read-only. Load balancers route writes away on 503; /healthz stays
 // 200 so orchestrators don't restart a process that a restart cannot heal.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	// Replication context rides on every readiness answer so operators and
+	// probes see the role and epoch without a second request.
+	extra := map[string]any{}
+	if n := s.replicationNode(); n != nil {
+		extra["role"] = n.Role()
+		extra["epoch"] = n.Epoch()
+	}
+	ready := func(status int, fields map[string]any) {
+		for k, v := range extra {
+			fields[k] = v
+		}
+		writeJSON(w, status, fields)
+	}
+	if fenced, observed, source := s.flock.DB.Fenced(); fenced {
+		// A deposed leader can never ack a write again: route traffic away.
+		ready(http.StatusServiceUnavailable, map[string]any{
+			"status": "fenced", "mode": "read-only",
+			"reason": fmt.Sprintf("a newer leader at epoch %d was observed via %s", observed, source),
+		})
+		return
+	}
 	if down, reason := s.flock.DB.Degraded(); down {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		ready(http.StatusServiceUnavailable, map[string]any{
 			"status": "degraded", "mode": "read-only", "reason": reason,
 		})
 		return
@@ -302,13 +350,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.readyMu.Unlock()
 	for _, check := range checks {
 		if err := check(); err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			ready(http.StatusServiceUnavailable, map[string]any{
 				"status": "not-ready", "reason": err.Error(),
 			})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	ready(http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // handleAdminReopen recovers a degraded instance back to read-write (see
@@ -342,6 +390,86 @@ func (s *Server) handleAdminReopen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "was_degraded": wasDegraded})
+}
+
+// handleAdminPromote promotes this replica into the leader of a new epoch
+// (see repl.Node.Promote): operator-triggered, session-authenticated,
+// audited. Idempotent on an already-promoted node.
+func (s *Server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad promote request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	n := s.replicationNode()
+	if n == nil {
+		writeError(w, http.StatusConflict, errors.New("this node has no replication role"))
+		return
+	}
+	epoch, err := n.Promote(r.Context())
+	s.flock.Audit.Record(sess.user, "admin.promote", "", fmt.Sprintf("epoch=%d", epoch), err == nil)
+	if err != nil {
+		// The node is still a follower (Promote's contract); 409 says the
+		// operation could not proceed, not that the server is down.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch, "role": n.Role()})
+}
+
+// handleAdminRepoint re-targets this node at a new leader (see
+// repl.Node.Repoint): a follower swaps its tailing URL, a (typically
+// fenced) leader demotes to a replica of it. Session-authenticated,
+// audited.
+func (s *Server) handleAdminRepoint(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		Leader  string `json:"leader"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad repoint request: %w", err))
+		return
+	}
+	sess, ok := s.sessions.get(req.Session)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, errors.New("unknown or expired session"))
+		return
+	}
+	if req.Leader == "" {
+		writeError(w, http.StatusBadRequest, errors.New("repoint requires a leader URL"))
+		return
+	}
+	n := s.replicationNode()
+	if n == nil {
+		writeError(w, http.StatusConflict, errors.New("this node has no replication role"))
+		return
+	}
+	err := n.Repoint(r.Context(), req.Leader)
+	s.flock.Audit.Record(sess.user, "admin.repoint", "", "leader="+req.Leader, err == nil)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": n.Role(), "leader": req.Leader})
+}
+
+// setLeaderHint stamps X-Flock-Leader on read-only rejections from a
+// replica, so a client that wrote to the wrong node learns where the
+// leader is without a config push (the SDK follows it during failover).
+func (s *Server) setLeaderHint(w http.ResponseWriter, err error) {
+	if !errors.Is(err, engine.ErrReadOnly) {
+		return
+	}
+	if leader := s.flock.DB.ReplicaSource(); leader != "" {
+		w.Header().Set("X-Flock-Leader", leader)
+	}
 }
 
 // retryAfterSeconds derives backpressure advice from live pressure instead
@@ -593,6 +721,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		status, _ := classifyErr(err)
 		if status == http.StatusServiceUnavailable {
 			s.setRetryAfter(w)
+			s.setLeaderHint(w, err)
 		}
 		writeError(w, status, err)
 		return
@@ -767,6 +896,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, sess *session,
 		s.met.observeQuery(kind, label, time.Since(start))
 		if status == http.StatusServiceUnavailable {
 			s.setRetryAfter(w)
+			s.setLeaderHint(w, err)
 		}
 		writeError(w, status, err)
 		return
@@ -794,6 +924,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, sess *session,
 			// Degraded instance (or saturated queue): tell clients how long
 			// to back off instead of letting them spin.
 			s.setRetryAfter(w)
+			s.setLeaderHint(w, err)
 		}
 		writeError(w, status, err)
 		return
@@ -861,6 +992,7 @@ func (s *Server) streamCursor(w http.ResponseWriter, r *http.Request, sess *sess
 		s.met.observeQuery("select", label, time.Since(start))
 		if status == http.StatusServiceUnavailable {
 			s.setRetryAfter(w)
+			s.setLeaderHint(w, err)
 		}
 		writeError(w, status, err)
 		return
@@ -881,6 +1013,7 @@ func (s *Server) streamCursor(w http.ResponseWriter, r *http.Request, sess *sess
 		s.met.observeQuery("select", label, time.Since(start))
 		if status == http.StatusServiceUnavailable {
 			s.setRetryAfter(w)
+			s.setLeaderHint(w, err)
 		}
 		writeError(w, status, err)
 		return

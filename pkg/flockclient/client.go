@@ -44,6 +44,10 @@ type APIError struct {
 	// (zero when absent). The server derives it from live queue pressure,
 	// so honoring it beats a fixed client-side backoff.
 	RetryAfter time.Duration
+	// Leader is the X-Flock-Leader hint a replica stamps on read-only write
+	// rejections: the base URL of the node currently accepting writes
+	// (empty when absent). Failover follows it.
+	Leader string
 }
 
 func (e *APIError) Error() string {
@@ -87,15 +91,22 @@ func IsCursorExpired(err error) bool {
 // concurrent use; each Rows iterator, however, must be driven from one
 // goroutine at a time.
 type Client struct {
-	base      string
 	hc        *http.Client
 	user      string
 	token     string
-	session   string
 	batchRows int
 	level     string
 	retryMax  int
 	retryBase time.Duration
+
+	// epMu guards base and session: failover re-dials a session at another
+	// endpoint and swaps both while calls may be in flight.
+	epMu    sync.Mutex
+	base    string
+	session string
+	// failover is the WithFailover candidate list, rotated through when the
+	// current endpoint keeps failing transiently.
+	failover []string
 
 	// Read-endpoint routing (WithReadEndpoint): reads go to a replica
 	// through a lazily dialed sub-client, with fallback to the primary.
@@ -151,6 +162,26 @@ func WithReadEndpoint(url string) Option {
 	return func(c *Client) { c.readURL = strings.TrimRight(url, "/") }
 }
 
+// WithFailover registers alternate server endpoints for leader failover.
+// When a call fails transiently (the server is down or sheds it) the
+// client re-dials a session at the next candidate — following the
+// X-Flock-Leader hint first when a replica named the current leader — and
+// retries there, under the WithRetry budget (failover implies a retry
+// budget of at least len(endpoints) attempts). Exec is redirected only on
+// a definitive read-only rejection from a replica, where the statement
+// provably did not execute; ambiguous outcomes still surface to the
+// caller. Open cursors and prepared statements do not survive failover:
+// fetches fail and handles answer 404, so re-run the query or re-prepare.
+func WithFailover(endpoints ...string) Option {
+	return func(c *Client) {
+		for _, e := range endpoints {
+			if e = strings.TrimRight(e, "/"); e != "" {
+				c.failover = append(c.failover, e)
+			}
+		}
+	}
+}
+
 // WithRetry enables bounded retry with exponential backoff for transient
 // failures (see IsTransient) on idempotent calls: Dial, Ping, Query,
 // Prepare, prepared-SELECT Query, and cursor fetch/close. Exec is NEVER
@@ -182,6 +213,10 @@ func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, e
 	for _, o := range opts {
 		o(c)
 	}
+	if len(c.failover) > 0 && c.retryMax < len(c.failover) {
+		// Failover needs at least one attempt per candidate to be useful.
+		c.retryMax = len(c.failover)
+	}
 	var out struct {
 		Session string `json:"session"`
 	}
@@ -193,8 +228,69 @@ func Dial(ctx context.Context, baseURL, user string, opts ...Option) (*Client, e
 	if out.Session == "" {
 		return nil, errors.New("flockclient: server returned no session id")
 	}
+	c.epMu.Lock()
 	c.session = out.Session
+	c.epMu.Unlock()
 	return c, nil
+}
+
+// endpointURL reports the base URL calls currently go to (failover swaps it).
+func (c *Client) endpointURL() string {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	return c.base
+}
+
+// sessionID reports the current session id (failover re-dials a new one).
+func (c *Client) sessionID() string {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	return c.session
+}
+
+// failTo re-dials a session at url and makes it the client's endpoint. The
+// session dial doubles as the liveness probe: a dead candidate fails here
+// and the previous endpoint stays in place.
+func (c *Client) failTo(ctx context.Context, url string) error {
+	url = strings.TrimRight(url, "/")
+	if url == "" {
+		return errors.New("flockclient: empty failover endpoint")
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := c.postTo(ctx, url, "/v1/sessions", map[string]any{"user": c.user, "token": c.token}, &out); err != nil {
+		return err
+	}
+	if out.Session == "" {
+		return errors.New("flockclient: failover endpoint returned no session id")
+	}
+	c.epMu.Lock()
+	c.base, c.session = url, out.Session
+	c.epMu.Unlock()
+	return nil
+}
+
+// maybeFailover reacts to a transient error by moving the client to
+// another endpoint: the server's X-Flock-Leader hint first (a replica
+// naming the actual leader beats guessing), then the WithFailover
+// candidates in order. Reports whether the endpoint changed.
+func (c *Client) maybeFailover(ctx context.Context, err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Leader != "" && ae.Leader != c.endpointURL() {
+		if c.failTo(ctx, ae.Leader) == nil {
+			return true
+		}
+	}
+	for _, url := range c.failover {
+		if url == c.endpointURL() {
+			continue
+		}
+		if c.failTo(ctx, url) == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Close deletes the server-side session (which also releases any cursors
@@ -207,7 +303,7 @@ func (c *Client) Close(ctx context.Context) error {
 	if rc != nil {
 		_ = rc.Close(ctx) // best-effort: the replica session dies with its TTL anyway
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/sessions/"+c.session, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.endpointURL()+"/v1/sessions/"+c.sessionID(), nil)
 	if err != nil {
 		return err
 	}
@@ -224,7 +320,7 @@ func (c *Client) Close(ctx context.Context) error {
 
 // Ping checks the server's health endpoint.
 func (c *Client) Ping(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpointURL()+"/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -240,7 +336,11 @@ func (c *Client) Ping(ctx context.Context) error {
 }
 
 // Session exposes the raw session id (for debugging and tests).
-func (c *Client) Session() string { return c.session }
+func (c *Client) Session() string { return c.sessionID() }
+
+// Endpoint exposes the base URL calls currently go to — after a failover
+// it names the endpoint the client moved to.
+func (c *Client) Endpoint() string { return c.endpointURL() }
 
 // Result is the outcome of a non-cursor statement.
 type Result struct {
@@ -255,7 +355,7 @@ type Result struct {
 // outcome (the request landed but the response was lost) must surface to
 // the caller rather than risk a double-apply.
 func (c *Client) Exec(ctx context.Context, sql string) (*Result, error) {
-	body := map[string]any{"session": c.session, "sql": sql}
+	body := map[string]any{"session": c.sessionID(), "sql": sql}
 	if c.level != "" {
 		body["level"] = c.level
 	}
@@ -264,7 +364,18 @@ func (c *Client) Exec(ctx context.Context, sql string) (*Result, error) {
 		Rows     [][]json.RawMessage `json:"rows"`
 		Affected int64               `json:"affected"`
 	}
-	if err := c.post(ctx, "/v1/query", body, &out); err != nil {
+	err := c.post(ctx, "/v1/query", body, &out)
+	var ae *APIError
+	if err != nil && errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable && ae.Leader != "" {
+		// A read-only replica named the leader: the rejection is definitive
+		// (the statement provably did not execute there), so redirecting
+		// once is not a double-apply. Everything else stays non-retried.
+		if ferr := c.failTo(ctx, ae.Leader); ferr == nil {
+			body["session"] = c.sessionID()
+			err = c.post(ctx, "/v1/query", body, &out)
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
 	rows, err := decodeRows(out.Rows)
@@ -299,7 +410,7 @@ func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
 // none is configured or the dial fails (the caller then uses the primary;
 // the next read retries the dial).
 func (c *Client) readClient(ctx context.Context) *Client {
-	if c.readURL == "" || c.readURL == c.base {
+	if c.readURL == "" || c.readURL == c.endpointURL() {
 		return nil
 	}
 	c.readMu.Lock()
@@ -324,7 +435,7 @@ func (c *Client) readClient(ctx context.Context) *Client {
 
 // queryHere opens the cursor on this client's own endpoint (no routing).
 func (c *Client) queryHere(ctx context.Context, sql string) (*Rows, error) {
-	body := map[string]any{"session": c.session, "sql": sql, "cursor": true}
+	body := map[string]any{"session": c.sessionID(), "sql": sql, "cursor": true}
 	if c.level != "" {
 		body["level"] = c.level
 	}
@@ -354,7 +465,7 @@ type Stmt struct {
 
 // Prepare plans a statement once for repeated execution.
 func (c *Client) Prepare(ctx context.Context, sql string) (*Stmt, error) {
-	body := map[string]any{"session": c.session, "sql": sql}
+	body := map[string]any{"session": c.sessionID(), "sql": sql}
 	if c.level != "" {
 		body["level"] = c.level
 	}
@@ -378,7 +489,7 @@ func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
 		Columns []string `json:"columns"`
 	}
 	err := s.c.postIdem(ctx, "/v1/exec", map[string]any{
-		"session": s.c.session, "stmt": s.handle, "cursor": true,
+		"session": s.c.sessionID(), "stmt": s.handle, "cursor": true,
 	}, &out)
 	if err != nil {
 		return nil, err
@@ -394,7 +505,7 @@ func (s *Stmt) Exec(ctx context.Context) (*Result, error) {
 		Affected int64               `json:"affected"`
 	}
 	err := s.c.post(ctx, "/v1/exec", map[string]any{
-		"session": s.c.session, "stmt": s.handle,
+		"session": s.c.sessionID(), "stmt": s.handle,
 	}, &out)
 	if err != nil {
 		return nil, err
@@ -447,6 +558,17 @@ func (c *Client) postIdem(ctx context.Context, path string, body, out any) error
 		if err == nil || attempt >= c.retryMax || !IsTransient(err) || ctx.Err() != nil {
 			return err
 		}
+		// Before backing off, try moving to a healthier endpoint (the
+		// leader hint or a WithFailover candidate). The retried request
+		// must ride the new endpoint's session.
+		if c.maybeFailover(ctx, err) {
+			if m, ok := body.(map[string]any); ok {
+				if _, has := m["session"]; has {
+					m["session"] = c.sessionID()
+				}
+			}
+			continue // the new endpoint answers immediately; no backoff
+		}
 		delay := c.retryBase << attempt
 		delay = delay/2 + time.Duration(rand.Int63n(int64(delay))) // ±50% jitter
 		var ae *APIError
@@ -461,14 +583,19 @@ func (c *Client) postIdem(ctx context.Context, path string, body, out any) error
 	}
 }
 
-// post sends a JSON body and decodes a JSON response into out (out may be
-// nil). Non-2xx responses become *APIError.
+// post sends a JSON body to the current endpoint and decodes a JSON
+// response into out (out may be nil). Non-2xx responses become *APIError.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	return c.postTo(ctx, c.endpointURL(), path, body, out)
+}
+
+// postTo is post against an explicit base URL (the failover probe path).
+func (c *Client) postTo(ctx context.Context, base, path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}
@@ -506,6 +633,7 @@ func readAPIError(resp *http.Response) error {
 			ae.RetryAfter = time.Duration(secs) * time.Second
 		}
 	}
+	ae.Leader = strings.TrimRight(resp.Header.Get("X-Flock-Leader"), "/")
 	return ae
 }
 

@@ -72,7 +72,7 @@ func (r *Rows) fetch() bool {
 		Done bool                `json:"done"`
 	}
 	err := r.c.postIdem(r.ctx, "/v1/cursor/fetch", map[string]any{
-		"session": r.c.session, "cursor": r.cursor, "max_rows": r.c.batchRows,
+		"session": r.c.sessionID(), "cursor": r.cursor, "max_rows": r.c.batchRows,
 	}, &out)
 	if err != nil {
 		r.err = err
@@ -137,7 +137,7 @@ func (r *Rows) Close() error {
 	}
 	r.closed = true
 	err := r.c.postIdem(r.ctx, "/v1/cursor/close", map[string]any{
-		"session": r.c.session, "cursor": r.cursor,
+		"session": r.c.sessionID(), "cursor": r.cursor,
 	}, nil)
 	var ae *APIError
 	if errors.As(err, &ae) && (ae.Status == http.StatusNotFound || ae.Status == http.StatusGone) {
