@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/infer"
 	"repro/internal/monitor"
 	"repro/internal/onnx"
 	"repro/internal/repl"
@@ -82,6 +83,12 @@ func main() {
 	replQuorum := flag.Int("repl-quorum", 1, "follower acks required per commit under -repl-ack=quorum")
 	replQuorumTimeout := flag.Duration("repl-quorum-timeout", 5*time.Second, "how long a commit waits for quorum before failing as ambiguous")
 	replPeers := flag.String("repl-peers", "", "comma-separated peer base URLs, probed at boot: a restarted ex-leader deposed while down comes back fenced instead of accepting doomed writes")
+	inferOn := flag.Bool("infer", true, "route PREDICT through the inference plane (micro-batching, score cache, canary deployments)")
+	inferWindow := flag.Duration("infer-batch-window", 2*time.Millisecond, "micro-batch latency bound: longest a queued PREDICT waits for peers")
+	inferRows := flag.Int("infer-batch-rows", 256, "micro-batch size bound; larger requests bypass coalescing")
+	inferCache := flag.Int("infer-cache-size", 65536, "score-cache capacity in entries (negative disables caching)")
+	inferCanaryMin := flag.Int64("infer-canary-min-samples", 500, "mirrored samples required before the canary gate acts")
+	inferCanaryMaxDis := flag.Float64("infer-canary-max-disagreement", 0.05, "largest mean |candidate-primary| the canary gate promotes through")
 	flag.Parse()
 
 	var syncWAL bool
@@ -183,9 +190,11 @@ func main() {
 	// Remote scoring with the full availability ladder: per-endpoint shared
 	// circuit breaker (the engine rebuilds scorers per query, the breaker
 	// state must not reset with them), bounded jittered retry, and optional
-	// fallback to the native in-process scorer.
+	// fallback to the native in-process scorer. The same factory backs both
+	// UDF-mode PREDICT and the inference plane's remote backend.
+	var remoteScorer func(g *onnx.Graph) (onnx.Scorer, error)
 	if *scorerURL != "" {
-		flock.DB.SetUDFScorerFactory(func(g *onnx.Graph) (onnx.Scorer, error) {
+		remoteScorer = func(g *onnx.Graph) (onnx.Scorer, error) {
 			rs := &onnx.ResilientScorer{
 				S:          onnx.NewHTTPScorer(g, *scorerURL, 1000),
 				Breaker:    onnx.SharedBreaker(*scorerURL, *scorerBreakFails, *scorerBreakCooldown),
@@ -199,10 +208,32 @@ func main() {
 				rs.Fallback = local
 			}
 			return rs, nil
-		})
+		}
+		flock.DB.SetUDFScorerFactory(remoteScorer)
 	}
 
 	srv := server.New(flock, cfg) // breaker gauges ride /metrics natively
+
+	// Inference plane: micro-batched, cached, canaried PREDICT. On a
+	// replica the cache stays correct because applied frames refresh the
+	// model registry and bump its generation. With -scorer-url set the
+	// plane's backend calls ride the same resilient remote scorer — one
+	// round trip per micro-batch window instead of one per call.
+	if *inferOn {
+		icfg := infer.Config{
+			BatchWindow:           *inferWindow,
+			BatchRows:             *inferRows,
+			CacheSize:             *inferCache,
+			CanaryMinSamples:      *inferCanaryMin,
+			CanaryMaxDisagreement: *inferCanaryMaxDis,
+		}
+		if *scorerURL != "" {
+			icfg.Remote = remoteScorer
+		}
+		plane := flock.EnableInferPlane(icfg)
+		srv.AttachInferPlane(plane)
+		defer flock.DisableInferPlane()
+	}
 
 	// Baseline the score monitor on the deployed model's training-time
 	// distribution so /metrics exports drift state from the start. A

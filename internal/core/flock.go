@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/governance"
+	"repro/internal/infer"
 	"repro/internal/ml"
 	"repro/internal/onnx"
 	"repro/internal/opt"
@@ -28,6 +29,39 @@ type Flock struct {
 	Catalog  *provenance.Catalog
 	Prov     *provenance.SQLTracker
 	Policies *policy.Engine
+
+	// Infer is the production inference plane, set by EnableInferPlane.
+	// nil means PREDICT uses the engine's direct scoring paths.
+	Infer *infer.Plane
+}
+
+// EnableInferPlane builds an inference plane over the model registry and
+// routes both engine PREDICT paths through it: micro-batched backend
+// calls, generation-keyed score caching, and shadow/canary candidate
+// deployments gated by drift and agreement stats. The plane's promote
+// hook drives ModelRegistry.Promote to production, so an auto-promoted
+// canary bumps the registry generation and thereby invalidates cached
+// scores and cached plans alike.
+func (f *Flock) EnableInferPlane(cfg infer.Config) *infer.Plane {
+	if cfg.Promote == nil {
+		cfg.Promote = func(model string, version int) error {
+			return f.Models.Promote(model, version, StageProduction)
+		}
+	}
+	p := infer.New(f.Models, cfg)
+	f.DB.SetPredictPlane(p)
+	f.Infer = p
+	return p
+}
+
+// DisableInferPlane detaches and stops the plane.
+func (f *Flock) DisableInferPlane() {
+	if f.Infer == nil {
+		return
+	}
+	f.DB.SetPredictPlane(nil)
+	f.Infer.Close()
+	f.Infer = nil
 }
 
 // New assembles a Flock instance. The built-in "admin" role holds every

@@ -31,6 +31,10 @@ type compileEnv struct {
 	ctx        context.Context
 	sessionFor func(model string) (*onnx.Session, error)
 	remoteFor  func(model string) (onnx.Scorer, error)
+	// plane, when set, routes row-mode PREDICT through the inference
+	// plane — the path where cross-session micro-batching pays off most,
+	// since every call here is a one-row batch.
+	plane PredictPlane
 }
 
 // compileExpr compiles e against the schema into an evaluator. All column
@@ -660,6 +664,13 @@ func compilePredictUDF(x *sql.Predict, schema Schema, env *compileEnv) (evalFunc
 				}
 				b.Cols[i] = onnx.Column{Strs: []string{v.S}}
 			}
+		}
+		if env.plane != nil {
+			out := make([]float64, 1)
+			if err := env.plane.Score(ctx, x.Model, g, b, out); err != nil {
+				return Value{}, err
+			}
+			return FloatValue(out[0]), nil
 		}
 		out, err := onnx.ScoreWithContext(ctx, remote, b)
 		if err != nil {

@@ -101,7 +101,7 @@ func (db *DB) OpenCursor(ctx context.Context, s *sql.SelectStmt, o ExecOptions) 
 // Callers caching plans must revalidate them (see core.Prepared).
 func (db *DB) OpenPlanCursor(ctx context.Context, plan *opt.Plan, o ExecOptions) (Cursor, error) {
 	ex := &executor{ctx: ctx, db: db, o: o,
-		env: &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}}
+		env: &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor, plane: db.plane()}}
 	return ex.openCursor(plan.Root)
 }
 
@@ -623,6 +623,7 @@ func (p *predictOp) apply(ex *executor, in *RowSet) (*RowSet, error) {
 
 	scores := make([]float64, in.N)
 	w := ex.workers(in.N)
+	plane := ex.env.plane
 	err := ex.runMorsels(in.N, w, func(wid, m, lo, hi int) error {
 		for clo := lo; clo < hi; clo += predictChunk {
 			chi := clo + predictChunk
@@ -636,6 +637,12 @@ func (p *predictOp) apply(ex *executor, in *RowSet) (*RowSet, error) {
 				} else {
 					b.Cols[i].Strs = batchCols[i].Strs[clo:chi]
 				}
+			}
+			if plane != nil {
+				if err := plane.Score(ex.ctx, p.n.Model, g, &b, scores[clo:chi]); err != nil {
+					return err
+				}
+				continue
 			}
 			if err := p.sess.RunInto(&b, scores[clo:chi]); err != nil {
 				return err

@@ -91,6 +91,12 @@ type DB struct {
 	// HTTP scoring client) via SetUDFScorerFactory.
 	udfScorer func(g *onnx.Graph) (onnx.Scorer, error)
 
+	// predictPlane, when set, routes both PREDICT paths (vectorized
+	// operator and row-mode UDF) through the inference plane for
+	// micro-batching, score caching, and canary mirroring. nil preserves
+	// the direct scoring paths.
+	predictPlane PredictPlane
+
 	// DefaultLevel is the optimization level used by Exec; defaults to
 	// opt.LevelFull.
 	DefaultLevel opt.Level
@@ -357,6 +363,30 @@ func (db *DB) SetUDFScorerFactory(f func(g *onnx.Graph) (onnx.Scorer, error)) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.udfScorer = f
+}
+
+// PredictPlane is the inference plane's engine-facing hook (implemented by
+// internal/infer.Plane): it scores a PREDICT batch for a model with
+// micro-batching across concurrent sessions, generation-keyed score
+// caching, and candidate mirroring. g is the planned graph — possibly
+// sparsity-pruned, so the plane must score it as given rather than
+// re-resolve the model name — and out receives one score per row of b.
+type PredictPlane interface {
+	Score(ctx context.Context, model string, g *onnx.Graph, b *onnx.Batch, out []float64) error
+}
+
+// SetPredictPlane installs (or, with nil, removes) the inference plane.
+func (db *DB) SetPredictPlane(p PredictPlane) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.predictPlane = p
+}
+
+// plane returns the installed inference plane, if any.
+func (db *DB) plane() PredictPlane {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.predictPlane
 }
 
 // remoteFor resolves a model name to the UDF-mode scorer: by default a

@@ -131,7 +131,7 @@ func (db *DB) execInsertLevel(ctx context.Context, s *sql.InsertStmt, o ExecOpti
 			buffered = append(buffered, vals)
 		}
 	} else {
-		env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+		env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor, plane: db.plane()}
 		oneRow := &RowSet{N: 1}
 		buffered = make([][]Value, 0, len(s.Rows))
 		for _, row := range s.Rows {
@@ -210,7 +210,7 @@ func (db *DB) execUpdateLocked(ctx context.Context, t *Table, s *sql.UpdateStmt)
 	defer t.writeMu.Unlock()
 	cols, schema, n := t.snapshot()
 	rs := &RowSet{Schema: schema, Cols: cols, N: n}
-	env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+	env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor, plane: db.plane()}
 
 	hits, err := whereMask(s.Where, rs, env)
 	if err != nil {
@@ -294,7 +294,7 @@ func (db *DB) execDeleteLocked(ctx context.Context, t *Table, s *sql.DeleteStmt)
 	defer t.writeMu.Unlock()
 	cols, schema, n := t.snapshot()
 	rs := &RowSet{Schema: schema, Cols: cols, N: n}
-	env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor}
+	env := &compileEnv{ctx: ctx, sessionFor: db.sessionFor, remoteFor: db.remoteFor, plane: db.plane()}
 
 	hits, err := whereMask(s.Where, rs, env)
 	if err != nil {

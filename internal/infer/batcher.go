@@ -1,0 +1,199 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/onnx"
+)
+
+// errBatcherStopped reports a submit against a closed plane; callers fall
+// back to direct scoring.
+var errBatcherStopped = errors.New("infer: batcher stopped")
+
+// pendingReq is one coalesced scoring request. out is owned by the batcher
+// until done is signalled, so a caller whose context dies mid-window can
+// abandon the request without racing the dispatcher's result scatter.
+type pendingReq struct {
+	b    *onnx.Batch
+	out  []float64
+	done chan error
+}
+
+// batcher coalesces small scoring requests for one (model, graph) pair into
+// single backend calls: the window closes when maxRows rows have queued or
+// window time has passed since the first request, whichever comes first —
+// the classic size/latency-bounded micro-batch. One dispatcher goroutine
+// per batcher; requests ride channels, so concurrent sessions coalesce
+// without shared-state locking on the hot path.
+type batcher struct {
+	maxRows int
+	window  time.Duration
+	score   func(b *onnx.Batch, out []float64) error
+
+	submit chan *pendingReq
+	stop   chan struct{}
+	once   sync.Once
+
+	calls atomic.Int64 // backend invocations
+	rows  atomic.Int64 // rows scored through those invocations
+}
+
+func newBatcher(maxRows int, window time.Duration, score func(b *onnx.Batch, out []float64) error) *batcher {
+	ba := &batcher{
+		maxRows: maxRows,
+		window:  window,
+		score:   score,
+		submit:  make(chan *pendingReq, 64),
+		stop:    make(chan struct{}),
+	}
+	go ba.run()
+	return ba
+}
+
+func (ba *batcher) close() { ba.once.Do(func() { close(ba.stop) }) }
+
+// scoreBatched submits the batch and waits for the window it joins to be
+// scored. The result lands in a batcher-owned slice and is copied to out
+// only on success, so an abandoned request never writes caller memory.
+func (ba *batcher) scoreBatched(ctx context.Context, b *onnx.Batch, out []float64) error {
+	r := &pendingReq{b: b, out: make([]float64, b.N), done: make(chan error, 1)}
+	select {
+	case ba.submit <- r:
+	case <-ba.stop:
+		return errBatcherStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-r.done:
+		if err != nil {
+			return err
+		}
+		copy(out, r.out)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the dispatcher loop: idle-wait for the first request of a window,
+// then drain until the row cap or the latency deadline.
+func (ba *batcher) run() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var (
+		pend []*pendingReq
+		rows int
+	)
+	flush := func() {
+		if len(pend) > 0 {
+			ba.flush(pend, rows)
+		}
+		pend, rows = nil, 0
+	}
+	for {
+		if len(pend) == 0 {
+			select {
+			case r := <-ba.submit:
+				pend = append(pend, r)
+				rows = r.b.N
+				timer.Reset(ba.window)
+			case <-ba.stop:
+				return
+			}
+			if rows >= ba.maxRows {
+				stopTimer(timer)
+				flush()
+			}
+			continue
+		}
+		select {
+		case r := <-ba.submit:
+			pend = append(pend, r)
+			rows += r.b.N
+			if rows >= ba.maxRows {
+				stopTimer(timer)
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		case <-ba.stop:
+			stopTimer(timer)
+			flush()
+			return
+		}
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// flush merges the pending requests into one columnar batch, makes a single
+// backend call, and scatters the scores back. The infer.batch failpoint
+// fires here: an injected failure is broadcast to every waiter, and the
+// plane degrades those requests to direct scoring — a wedged or failing
+// batcher must never fail a query.
+func (ba *batcher) flush(pend []*pendingReq, rows int) {
+	if err := fault.Inject("infer.batch"); err != nil {
+		for _, r := range pend {
+			r.done <- err
+		}
+		return
+	}
+	if len(pend) == 1 {
+		// Single-request window: score in place, no merge copy.
+		r := pend[0]
+		ba.calls.Add(1)
+		ba.rows.Add(int64(rows))
+		r.done <- ba.score(r.b, r.out)
+		return
+	}
+
+	first := pend[0].b
+	merged := &onnx.Batch{N: rows, Cols: make([]onnx.Column, len(first.Cols))}
+	for c := range first.Cols {
+		if first.Cols[c].Nums != nil {
+			nums := make([]float64, 0, rows)
+			for _, r := range pend {
+				nums = append(nums, r.b.Cols[c].Nums...)
+			}
+			merged.Cols[c].Nums = nums
+		} else {
+			strs := make([]string, 0, rows)
+			for _, r := range pend {
+				strs = append(strs, r.b.Cols[c].Strs...)
+			}
+			merged.Cols[c].Strs = strs
+		}
+	}
+	scores := make([]float64, rows)
+	ba.calls.Add(1)
+	ba.rows.Add(int64(rows))
+	err := ba.score(merged, scores)
+	off := 0
+	for _, r := range pend {
+		if err == nil {
+			copy(r.out, scores[off:off+r.b.N])
+		}
+		off += r.b.N
+		r.done <- err
+	}
+}
+
+// stats returns (backend calls, total rows) — occupancy is rows/calls.
+func (ba *batcher) stats() (int64, int64) {
+	return ba.calls.Load(), ba.rows.Load()
+}

@@ -1,0 +1,196 @@
+package infer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/onnx"
+	"repro/internal/workload"
+)
+
+// benchGraph exports the demo churn pipeline flock-serve deploys: a
+// 50-tree GBM over scaled numerics, a one-hot region, and a hashed text
+// column — per-call scoring cost in the microseconds, like any real model.
+func benchGraph(b testing.TB) *onnx.Graph {
+	b.Helper()
+	pipe, err := workload.TrainScoringPipeline(1000, 42, 50, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := onnx.Export(pipe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchRows synthesizes single-row batches drawn from a small population,
+// the shape row-mode PREDICT UDF traffic has: many concurrent sessions,
+// one feature vector per call, heavy value reuse across calls.
+func benchRows(n int) []*onnx.Batch {
+	rows := make([]*onnx.Batch, n)
+	regions := []string{"us", "eu", "apac", "latam", "mea", "anz"}
+	notes := []string{
+		"renewal call scheduled support ticket open",
+		"asked about enterprise tier pricing",
+		"quiet account no recent activity",
+		"escalated billing dispute twice this quarter",
+	}
+	for i := range rows {
+		rows[i] = &onnx.Batch{
+			N: 1,
+			Cols: []onnx.Column{
+				{Nums: []float64{20 + float64(i%50)}},
+				{Nums: []float64{30000 + float64(i%40)*2500}},
+				{Nums: []float64{float64(i % 10)}},
+				{Strs: []string{regions[i%len(regions)]}},
+				{Strs: []string{notes[i%len(notes)]}},
+			},
+		}
+	}
+	return rows
+}
+
+// BenchmarkPredict drives 32 concurrent sessions of single-row PREDICT
+// calls — the acceptance workload for the inference plane. mode=percall
+// scores each call directly through a shared session (the engine's
+// pre-plane row path); mode=plane routes the same calls through the
+// micro-batcher and score cache. The acceptance bar is >=3x throughput
+// for mode=plane.
+func BenchmarkPredict(b *testing.B) {
+	g := benchGraph(b)
+	rows := benchRows(512)
+	const sessions = 32
+
+	run := func(b *testing.B, score func(ctx context.Context, rowIdx int, out []float64) error) {
+		b.ReportAllocs()
+		var wg sync.WaitGroup
+		per := b.N / sessions
+		if per == 0 {
+			per = 1
+		}
+		errCh := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				out := make([]float64, 1)
+				for i := 0; i < per; i++ {
+					if err := score(context.Background(), (s*per+i)%len(rows), out); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			b.Fatal(err)
+		default:
+		}
+	}
+
+	b.Run("mode=percall", func(b *testing.B) {
+		sess, err := onnx.NewSession(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, func(_ context.Context, i int, out []float64) error {
+			return sess.RunInto(rows[i], out)
+		})
+	})
+
+	b.Run("mode=plane", func(b *testing.B) {
+		reg := newFakeRegistry()
+		reg.redeploy(g.Name, g)
+		p := New(reg, Config{BatchWindow: 200 * time.Microsecond})
+		defer p.Close()
+		run(b, func(ctx context.Context, i int, out []float64) error {
+			return p.Score(ctx, g.Name, g, rows[i], out)
+		})
+	})
+}
+
+// TestPredictThroughputBar is the acceptance check behind BenchmarkPredict:
+// 32 concurrent sessions through the plane must beat per-call scoring by
+// >=3x. It times a fixed work quota under both modes rather than trusting
+// a single benchtime sample. Skipped in -short runs (it is a benchmark in
+// test clothing, deliberately: CI's race/chaos lanes skip it, the bench
+// lane runs BenchmarkPredict proper).
+func TestPredictThroughputBar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput bar needs a quiet machine")
+	}
+	g := benchGraph(t)
+	rows := benchRows(512)
+	const sessions = 32
+	const perSession = 400
+
+	elapse := func(score func(i int, out []float64) error) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errCh := make(chan error, sessions)
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				out := make([]float64, 1)
+				for i := 0; i < perSession; i++ {
+					if err := score((s*perSession+i)%len(rows), out); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return 0, err
+		default:
+		}
+		return time.Since(start), nil
+	}
+
+	sess, err := onnx.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := elapse(func(i int, out []float64) error { return sess.RunInto(rows[i], out) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := newFakeRegistry()
+	reg.redeploy(g.Name, g)
+	p := New(reg, Config{BatchWindow: 200 * time.Microsecond})
+	defer p.Close()
+	// Warm pass fills the score cache; the measured pass is steady state.
+	if _, err := elapse(func(i int, out []float64) error {
+		return p.Score(context.Background(), g.Name, g, rows[i], out)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plane, err := elapse(func(i int, out []float64) error {
+		return p.Score(context.Background(), g.Name, g, rows[i], out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	speedup := float64(direct) / float64(plane)
+	t.Logf("percall=%v plane=%v speedup=%.1fx gauges=%v", direct, plane, speedup, fmt.Sprint(p.Gauges()["flock_infer_cache_hits_total"]))
+	if speedup < 3 {
+		t.Fatalf("plane speedup %.2fx under 32 concurrent sessions, want >=3x (percall=%v plane=%v)", speedup, direct, plane)
+	}
+}

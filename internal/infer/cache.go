@@ -1,0 +1,220 @@
+package infer
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/onnx"
+)
+
+// scoreCache memoizes model scores keyed on (model, feature-vector hash),
+// with each entry stamped by the registry generation and the graph
+// fingerprint it was computed under. Like the plan cache, the cache only
+// ever amortizes: correctness comes from the generation guard on every
+// read, not from eager invalidation — a retrain or redeploy bumps the
+// registry generation, and the first lookup that observes the mismatch
+// evicts the entry instead of serving it (counted in stale). The cachegen
+// flock-vet analyzer enforces that guard.
+type scoreCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+
+	hits, misses, stale int64
+}
+
+type cacheKey struct {
+	model string
+	hash  uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	gen   int64
+	fp    uint64 // fingerprint of the graph that produced the score
+	score float64
+}
+
+func newScoreCache(capacity int) *scoreCache {
+	return &scoreCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// lookup returns the cached score for (model, hash) if and only if it was
+// computed under the given registry generation for the given graph
+// content. The generation comparison evicts entries orphaned by a retrain
+// or redeploy; the fingerprint comparison closes the race where a redeploy
+// lands between a caller resolving its graph and the plane stamping the
+// entry — a score is only ever served against graph content identical to
+// what produced it. (Fingerprints rather than pointer identity, because
+// the planner clones the deployed graph into every plan.)
+func (c *scoreCache) lookup(model string, hash uint64, gen int64, fp uint64) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{model: model, hash: hash}]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen || e.fp != fp {
+		// Stale generation (or a graph from the losing side of a redeploy
+		// race): the model changed after this score was computed. Never
+		// serve it.
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.stale++
+		c.misses++
+		return 0, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return e.score, true
+}
+
+// store records a score computed under gen for graph fingerprint fp,
+// evicting LRU entries beyond capacity.
+func (c *scoreCache) store(model string, hash uint64, gen int64, fp uint64, score float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{model: model, hash: hash}
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen, e.fp, e.score = gen, fp, score
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: k, gen: gen, fp: fp, score: score})
+	c.entries[k] = el
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns (hits, misses, stale evictions) so far.
+func (c *scoreCache) stats() (int64, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.stale
+}
+
+// len reports current occupancy.
+func (c *scoreCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv is an inlined FNV-1a accumulator shared by the row hash and the
+// graph fingerprint.
+type fnv uint64
+
+func (h *fnv) word(v uint64) {
+	x := uint64(*h)
+	for s := 0; s < 64; s += 8 {
+		x ^= (v >> s) & 0xff
+		x *= fnvPrime64
+	}
+	*h = fnv(x)
+}
+
+func (h *fnv) float(f float64) { h.word(math.Float64bits(f)) }
+
+func (h *fnv) str(s string) {
+	h.word(uint64(len(s)))
+	x := uint64(*h)
+	for j := 0; j < len(s); j++ {
+		x ^= uint64(s[j])
+		x *= fnvPrime64
+	}
+	*h = fnv(x)
+}
+
+// hashRow computes an FNV-1a hash over one row of the batch — the
+// feature-vector half of the cache key. Column index, kind, and value all
+// feed the hash so distinct input layouts (e.g. a sparsity-pruned plan
+// graph vs the full registry graph) cannot collide.
+func hashRow(b *onnx.Batch, row int) uint64 {
+	h := fnv(fnvOffset64)
+	for i := range b.Cols {
+		col := &b.Cols[i]
+		if col.Nums != nil {
+			h.word(uint64(2*i + 1))
+			h.float(col.Nums[row])
+			continue
+		}
+		h.word(uint64(2*i + 2))
+		h.str(col.Strs[row])
+	}
+	return uint64(h)
+}
+
+// fingerprint hashes a graph's full content — inputs, featurizer
+// parameters, model weights, output name. The planner clones the deployed
+// graph into every plan, so pointer identity cannot tell "same model
+// version from another query" apart from "redeployed model"; content
+// fingerprints can. Two content-identical graphs score identically, so
+// sharing cache entries, backends, and micro-batchers across them is sound
+// — and it is exactly that sharing that lets the batcher coalesce PREDICT
+// calls from concurrent sessions and cursors.
+func fingerprint(g *onnx.Graph) uint64 {
+	h := fnv(fnvOffset64)
+	h.str(g.Name)
+	h.str(g.Output)
+	h.word(uint64(len(g.Inputs)))
+	for _, in := range g.Inputs {
+		h.str(in.Name)
+		h.word(uint64(in.Kind))
+	}
+	h.word(uint64(len(g.Feats)))
+	for i := range g.Feats {
+		f := &g.Feats[i]
+		h.word(uint64(f.Op))
+		h.str(f.Input)
+		h.word(uint64(f.Offset))
+		h.float(f.Mean)
+		h.float(f.Scale)
+		h.word(uint64(len(f.Categories)))
+		for _, c := range f.Categories {
+			h.str(c)
+		}
+		h.word(uint64(f.Buckets))
+	}
+	m := &g.Model
+	h.word(uint64(m.Op))
+	h.word(uint64(len(m.Coeff)))
+	for _, c := range m.Coeff {
+		h.float(c)
+	}
+	h.float(m.Intercept)
+	h.float(m.Base)
+	h.float(m.Rate)
+	if m.PostSigmoid {
+		h.word(1)
+	}
+	h.word(uint64(len(m.Trees)))
+	for t := range m.Trees {
+		tr := &m.Trees[t]
+		h.word(uint64(len(tr.Feature)))
+		for i := range tr.Feature {
+			h.word(uint64(tr.Feature[i]))
+			h.float(tr.Threshold[i])
+			h.word(uint64(uint32(tr.Left[i])))
+			h.word(uint64(uint32(tr.Right[i])))
+			h.float(tr.Value[i])
+		}
+	}
+	return uint64(h)
+}

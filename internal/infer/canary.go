@@ -1,0 +1,201 @@
+package infer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/monitor"
+	"repro/internal/onnx"
+)
+
+// Stage is the lifecycle state of a candidate deployment.
+type Stage int
+
+// Candidate deployment stages. Shadow mirrors traffic and reports stats but
+// takes no action on its own; Canary mirrors traffic and, once enough
+// samples accumulate, automatically promotes a healthy candidate or rolls
+// back a drifted one. Promoted and RolledBack are terminal.
+const (
+	StageNone Stage = iota
+	StageShadow
+	StageCanary
+	StagePromoted
+	StageRolledBack
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "none"
+	case StageShadow:
+		return "shadow"
+	case StageCanary:
+		return "canary"
+	case StagePromoted:
+		return "promoted"
+	case StageRolledBack:
+		return "rolled-back"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// ParseStage parses an initial candidate stage name as accepted by
+// Plane.Deploy ("shadow" or "canary").
+func ParseStage(s string) (Stage, error) {
+	switch s {
+	case "shadow":
+		return StageShadow, nil
+	case "canary":
+		return StageCanary, nil
+	default:
+		return StageNone, fmt.Errorf("infer: unknown deploy stage %q (want shadow or canary)", s)
+	}
+}
+
+// mirrorWindow caps the retained score windows; the gate only needs enough
+// mass for a stable PSI, not the full traffic history.
+const mirrorWindow = 4096
+
+// deployment tracks one candidate model version scoring mirrored traffic.
+type deployment struct {
+	mu      sync.Mutex
+	model   string
+	version int
+	stage   Stage
+	sess    *onnx.Session
+
+	// Mirrored evidence: the serving model's scores (the reference
+	// distribution), the candidate's scores, and their running absolute
+	// disagreement.
+	primary    []float64
+	candidate  []float64
+	samples    int64
+	absDiffSum float64
+
+	// Last gate evaluation.
+	psi       float64
+	agreement float64
+	reason    string
+}
+
+// DeploymentStatus is the externally visible state of one candidate.
+type DeploymentStatus struct {
+	Model     string  `json:"model"`
+	Version   int     `json:"version"`
+	Stage     string  `json:"stage"`
+	Samples   int64   `json:"samples"`
+	PSI       float64 `json:"psi"`
+	Agreement float64 `json:"agreement"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// observe feeds one mirrored batch of primary scores and scores the same
+// batch with the candidate. Returns the gate's decision when the candidate
+// is in the canary stage and has seen enough traffic: +1 promote, -1 roll
+// back, 0 keep watching.
+func (d *deployment) observe(b *onnx.Batch, primary []float64, minSamples int64, maxDisagreement float64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stage != StageShadow && d.stage != StageCanary {
+		return 0
+	}
+	cand := make([]float64, b.N)
+	if err := d.sess.RunInto(b, cand); err != nil {
+		// A candidate that cannot score is a failed canary, not a failed
+		// query: record and let the gate roll it back.
+		d.reason = fmt.Sprintf("candidate scoring failed: %v", err)
+		if d.stage == StageCanary {
+			d.stage = StageRolledBack
+			return -1
+		}
+		return 0
+	}
+	// The infer.canary failpoint simulates a drifting candidate: injected
+	// windows get their mirrored scores skewed so chaos drills can watch
+	// the gate trip without training a genuinely bad model.
+	if err := fault.Inject("infer.canary"); err != nil {
+		for i := range cand {
+			cand[i] = skewScore(cand[i])
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		d.absDiffSum += absDiff(primary[i], cand[i])
+	}
+	d.samples += int64(b.N)
+	d.primary = appendWindow(d.primary, primary)
+	d.candidate = appendWindow(d.candidate, cand)
+
+	if psi, _, err := monitor.PSIBetween(d.primary, d.candidate); err == nil {
+		d.psi = psi
+	}
+	if d.samples > 0 {
+		d.agreement = d.absDiffSum / float64(d.samples)
+	}
+	if d.stage != StageCanary || d.samples < minSamples {
+		return 0
+	}
+	status := monitor.StatusOf(d.psi)
+	if status == monitor.Stable && d.agreement <= maxDisagreement {
+		d.stage = StagePromoted
+		d.reason = fmt.Sprintf("gate passed: psi=%.4f agreement=%.4f over %d samples", d.psi, d.agreement, d.samples)
+		return +1
+	}
+	d.stage = StageRolledBack
+	d.reason = fmt.Sprintf("gate failed: psi=%.4f (%s) agreement=%.4f over %d samples", d.psi, status, d.agreement, d.samples)
+	return -1
+}
+
+func (d *deployment) status() DeploymentStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DeploymentStatus{
+		Model:     d.model,
+		Version:   d.version,
+		Stage:     d.stage.String(),
+		Samples:   d.samples,
+		PSI:       d.psi,
+		Agreement: d.agreement,
+		Reason:    d.reason,
+	}
+}
+
+func (d *deployment) currentStage() Stage {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stage
+}
+
+// setStage transitions manually (admin promote/rollback).
+func (d *deployment) setStage(s Stage, reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stage = s
+	d.reason = reason
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// skewScore pushes a score toward the opposite half of [0,1] — a crude but
+// effective drift for chaos drills.
+func skewScore(v float64) float64 {
+	v += 0.5
+	if v > 1 {
+		v -= 1
+	}
+	return v
+}
+
+func appendWindow(w, scores []float64) []float64 {
+	w = append(w, scores...)
+	if len(w) > mirrorWindow {
+		w = w[len(w)-mirrorWindow:]
+	}
+	return w
+}

@@ -168,3 +168,4 @@ func TestCloseCheckFixture(t *testing.T)      { runFixture(t, CloseCheck) }
 func TestRetryIdempotentFixture(t *testing.T) { runFixture(t, RetryIdempotent) }
 func TestIgnoreCheckFixture(t *testing.T)     { runFixture(t, IgnoreCheck) }
 func TestEpochGateFixture(t *testing.T)       { runFixture(t, EpochGate) }
+func TestCacheGenFixture(t *testing.T)        { runFixture(t, CacheGen) }

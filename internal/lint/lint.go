@@ -27,6 +27,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AckAfterSync,
+		CacheGen,
 		CloseCheck,
 		CtxLoop,
 		EpochGate,

@@ -121,9 +121,79 @@ func (g *GradientBoosting) rawRow(row []float64) float64 {
 
 // PredictInto writes one prediction per row of x into out. For
 // LossLogistic, predictions are probabilities.
+//
+// The loop runs row-outer with the tree walk inlined: a row's features
+// (tens of bytes) stay in L1 while every tree is walked, instead of
+// streaming the whole matrix through cache once per tree. Per row the
+// terms accumulate in tree order, so results are bit-identical to the
+// per-row PredictRow walk.
 func (g *GradientBoosting) PredictInto(x *Matrix, out []float64) {
-	for i := 0; i < x.Rows; i++ {
-		out[i] = g.PredictRow(x.Row(i))
+	n := x.Rows
+	acc := out[:n]
+	rate := g.LearningRate
+	if rate == 0 {
+		rate = 0.1
+	}
+	trees := g.Trees
+	data, cols := x.Data, x.Cols
+	logistic := g.Loss == LossLogistic
+	for i := 0; i < n; i++ {
+		row := data[i*cols : i*cols+cols]
+		s := g.Base
+		for ti := range trees {
+			nodes := trees[ti].Nodes
+			nn := int32(0)
+			for {
+				nd := &nodes[nn]
+				if nd.Left < 0 {
+					s += rate * nd.Value
+					break
+				}
+				if row[nd.Feature] < nd.Threshold {
+					nn = nd.Left
+				} else {
+					nn = nd.Right
+				}
+			}
+		}
+		if logistic {
+			s = Sigmoid(s)
+		}
+		acc[i] = s
+	}
+}
+
+// PredictColumns scores a column-major batch (cols[f][i] is feature f of
+// row i) into out, with the same row-outer accumulation as PredictInto.
+func (g *GradientBoosting) PredictColumns(cols [][]float64, out []float64) {
+	rate := g.LearningRate
+	if rate == 0 {
+		rate = 0.1
+	}
+	trees := g.Trees
+	logistic := g.Loss == LossLogistic
+	for i := range out {
+		s := g.Base
+		for ti := range trees {
+			nodes := trees[ti].Nodes
+			nn := int32(0)
+			for {
+				nd := &nodes[nn]
+				if nd.Left < 0 {
+					s += rate * nd.Value
+					break
+				}
+				if cols[nd.Feature][i] < nd.Threshold {
+					nn = nd.Left
+				} else {
+					nn = nd.Right
+				}
+			}
+		}
+		if logistic {
+			s = Sigmoid(s)
+		}
+		out[i] = s
 	}
 }
 

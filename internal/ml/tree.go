@@ -155,10 +155,50 @@ func (b *treeBuilder) bestSplit(idx []int) (feature int, threshold float64, ok b
 	return feature, threshold, ok
 }
 
-// PredictInto writes one prediction per row of x into out.
+// PredictInto writes one prediction per row of x into out. The tree walk is
+// inlined batch-style — the node array and matrix data stay in registers
+// across the whole batch instead of paying a PredictRow call per row — and
+// produces bit-identical results to the per-row walk.
 func (t *DecisionTree) PredictInto(x *Matrix, out []float64) {
+	nodes := t.Nodes
+	data, cols := x.Data, x.Cols
 	for i := 0; i < x.Rows; i++ {
-		out[i] = t.PredictRow(x.Row(i))
+		base := i * cols
+		n := int32(0)
+		for {
+			nd := &nodes[n]
+			if nd.Left < 0 {
+				out[i] = nd.Value
+				break
+			}
+			if data[base+int(nd.Feature)] < nd.Threshold {
+				n = nd.Left
+			} else {
+				n = nd.Right
+			}
+		}
+	}
+}
+
+// PredictColumns scores a column-major batch — cols[f][i] is feature f of
+// row i, the layout the engine's columnar batches arrive in — without
+// materializing a row-major Matrix. len(out) rows are scored.
+func (t *DecisionTree) PredictColumns(cols [][]float64, out []float64) {
+	nodes := t.Nodes
+	for i := range out {
+		n := int32(0)
+		for {
+			nd := &nodes[n]
+			if nd.Left < 0 {
+				out[i] = nd.Value
+				break
+			}
+			if cols[nd.Feature][i] < nd.Threshold {
+				n = nd.Left
+			} else {
+				n = nd.Right
+			}
+		}
 	}
 }
 

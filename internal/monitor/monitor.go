@@ -97,7 +97,14 @@ func NewScoreMonitor(model string, baseline []float64, windowN int) (*ScoreMonit
 }
 
 // binByQuantiles builds bins with (approximately) equal baseline mass.
+// Degenerate inputs stay well-defined: a single-valued (or otherwise
+// low-cardinality) distribution yields duplicate interior edges, which
+// binOf resolves deterministically, and an empty input yields a Total-0
+// snapshot that psiOf rejects with an error instead of dividing by zero.
 func binByQuantiles(scores []float64, bins int) Snapshot {
+	if bins < 1 {
+		bins = 1
+	}
 	sorted := append([]float64(nil), scores...)
 	sort.Float64s(sorted)
 	edges := make([]float64, bins+1)
@@ -147,16 +154,31 @@ func (m *ScoreMonitor) psiLocked() (float64, error) {
 	if len(m.window) < DefaultBins*5 {
 		return 0, fmt.Errorf("monitor: window too small (%d scores)", len(m.window))
 	}
-	bins := len(m.baseline.Counts)
+	return psiOf(m.baseline, m.window)
+}
+
+// psiOf computes PSI of window against a binned baseline. Every edge case
+// comes back as a defined value or an explicit error — never NaN: an empty
+// baseline or window errors instead of dividing by zero, and NaN scores
+// (which bin into the last bucket) cannot poison the sum because the
+// proportions stay finite.
+func psiOf(baseline Snapshot, window []float64) (float64, error) {
+	if baseline.Total == 0 || len(baseline.Counts) == 0 {
+		return 0, fmt.Errorf("monitor: empty baseline distribution")
+	}
+	if len(window) == 0 {
+		return 0, fmt.Errorf("monitor: empty score window")
+	}
+	bins := len(baseline.Counts)
 	cur := make([]int, bins)
-	for _, s := range m.window {
-		cur[binOf(m.baseline.Edges, s)]++
+	for _, s := range window {
+		cur[binOf(baseline.Edges, s)]++
 	}
 	const eps = 1e-4
 	var psi float64
 	for b := 0; b < bins; b++ {
-		pBase := float64(m.baseline.Counts[b]) / float64(m.baseline.Total)
-		pCur := float64(cur[b]) / float64(len(m.window))
+		pBase := float64(baseline.Counts[b]) / float64(baseline.Total)
+		pCur := float64(cur[b]) / float64(len(window))
 		if pBase < eps {
 			pBase = eps
 		}
@@ -165,7 +187,35 @@ func (m *ScoreMonitor) psiLocked() (float64, error) {
 		}
 		psi += (pCur - pBase) * math.Log(pCur/pBase)
 	}
+	if math.IsNaN(psi) || math.IsInf(psi, 0) {
+		return 0, fmt.Errorf("monitor: degenerate distribution (non-finite PSI)")
+	}
 	return psi, nil
+}
+
+// PSIBetween computes the Population Stability Index of cur against ref
+// without a ScoreMonitor — the comparison the inference plane's canary gate
+// runs between a candidate's mirrored scores and the serving model's.
+// Unlike ScoreMonitor.PSI it has no minimum window: short references
+// degrade to coarser bins and a single-valued reference collapses to one
+// bin (PSI 0 unless the current scores escape it). The returned status is
+// always defined; only empty inputs error.
+func PSIBetween(ref, cur []float64) (float64, DriftStatus, error) {
+	if len(ref) == 0 {
+		return 0, Stable, fmt.Errorf("monitor: empty reference window")
+	}
+	if len(cur) == 0 {
+		return 0, Stable, fmt.Errorf("monitor: empty current window")
+	}
+	bins := DefaultBins
+	if len(ref) < bins {
+		bins = len(ref)
+	}
+	psi, err := psiOf(binByQuantiles(ref, bins), cur)
+	if err != nil {
+		return 0, Stable, err
+	}
+	return psi, StatusOf(psi), nil
 }
 
 // Check computes PSI, records an alert when drift is non-stable, and

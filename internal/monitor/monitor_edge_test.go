@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPSIBetweenEdgeCases table-tests the canary-gate comparison across the
+// degenerate inputs the old PSI path mishandled: empty and short reference
+// windows, single-valued (one-bin) distributions, and NaN scores. Every
+// case must produce a defined status or an explicit error — never NaN.
+func TestPSIBetweenEdgeCases(t *testing.T) {
+	uniform := func(n int, lo, hi float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = lo + (hi-lo)*float64(i)/float64(n)
+		}
+		return out
+	}
+	repeat := func(n int, v float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+
+	cases := []struct {
+		name       string
+		ref, cur   []float64
+		wantErr    bool
+		wantStatus DriftStatus
+		maxPSI     float64 // upper bound check when not erroring
+		minPSI     float64
+	}{
+		{name: "empty reference", ref: nil, cur: uniform(100, 0, 1), wantErr: true},
+		{name: "empty current", ref: uniform(100, 0, 1), cur: nil, wantErr: true},
+		{name: "short reference identical", ref: uniform(5, 0, 1), cur: uniform(5, 0, 1),
+			wantStatus: Stable, maxPSI: 0.05},
+		{name: "single score reference", ref: []float64{0.5}, cur: []float64{0.5},
+			wantStatus: Stable, maxPSI: 0.01},
+		{name: "single-bin distribution stable", ref: repeat(200, 0.7), cur: repeat(50, 0.7),
+			wantStatus: Stable, maxPSI: 0.01},
+		{name: "single-bin distribution shifted down", ref: repeat(200, 0.7), cur: repeat(50, 0.1),
+			wantStatus: Severe, minPSI: 0.25},
+		{name: "identical distributions", ref: uniform(1000, 0, 1), cur: uniform(1000, 0, 1),
+			wantStatus: Stable, maxPSI: 0.05},
+		{name: "clear drift", ref: uniform(1000, 0, 0.5), cur: uniform(1000, 0.5, 1),
+			wantStatus: Severe, minPSI: 0.25},
+		{name: "nan scores stay finite", ref: uniform(100, 0, 1),
+			cur: []float64{math.NaN(), math.NaN(), 0.5, 0.6}, wantStatus: Severe, minPSI: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			psi, status, err := PSIBetween(tc.ref, tc.cur)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got psi=%v status=%v", psi, status)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if math.IsNaN(psi) || math.IsInf(psi, 0) {
+				t.Fatalf("non-finite PSI %v", psi)
+			}
+			if status != tc.wantStatus {
+				t.Fatalf("status %v (psi %v), want %v", status, psi, tc.wantStatus)
+			}
+			if tc.maxPSI > 0 && psi > tc.maxPSI {
+				t.Fatalf("psi %v above bound %v", psi, tc.maxPSI)
+			}
+			if psi < tc.minPSI {
+				t.Fatalf("psi %v below bound %v", psi, tc.minPSI)
+			}
+		})
+	}
+}
+
+// TestPSIOfEmptyBaseline pins the division-by-zero guard: a hand-built
+// Total-0 snapshot must error, not return NaN.
+func TestPSIOfEmptyBaseline(t *testing.T) {
+	empty := Snapshot{Edges: []float64{math.Inf(-1), math.Inf(1)}, Counts: []int{0}}
+	if psi, err := psiOf(empty, []float64{0.5}); err == nil || psi != 0 {
+		t.Fatalf("empty baseline: psi=%v err=%v, want 0 and error", psi, err)
+	}
+}
+
+// TestMonitorSingleBinWindow drives the full ScoreMonitor path with a
+// constant baseline: PSI must stay finite and the status defined.
+func TestMonitorSingleBinWindow(t *testing.T) {
+	base := make([]float64, 100)
+	for i := range base {
+		base[i] = 0.42
+	}
+	m, err := NewScoreMonitor("const", base, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		m.Observe(0.42)
+	}
+	psi, err := m.PSI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(psi) {
+		t.Fatal("NaN PSI from single-bin window")
+	}
+	if status := StatusOf(psi); status != Stable {
+		t.Fatalf("status %v (psi %v), want stable", status, psi)
+	}
+}

@@ -674,3 +674,61 @@ func decodeCell(cell json.RawMessage) (any, error) {
 	}
 	return v, nil
 }
+
+// InferDeployment is the server's view of one candidate model deployment
+// on the inference plane (see /v1/admin/infer/status).
+type InferDeployment struct {
+	Model     string  `json:"model"`
+	Version   int     `json:"version"`
+	Stage     string  `json:"stage"`
+	Samples   int64   `json:"samples"`
+	PSI       float64 `json:"psi"`
+	Agreement float64 `json:"agreement"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// InferDeploy registers a model version as a candidate on the server's
+// inference plane. Stage is "shadow" (observe only) or "canary" (mirrored
+// traffic gates automatic promotion or rollback).
+func (c *Client) InferDeploy(ctx context.Context, model string, version int, stage string) (*InferDeployment, error) {
+	body := map[string]any{"session": c.sessionID(), "model": model, "version": version, "stage": stage}
+	var out InferDeployment
+	if err := c.post(ctx, "/v1/admin/infer/deploy", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InferPromote manually promotes the model's candidate to production,
+// regardless of the canary gate's stats.
+func (c *Client) InferPromote(ctx context.Context, model string) (*InferDeployment, error) {
+	body := map[string]any{"session": c.sessionID(), "model": model}
+	var out InferDeployment
+	if err := c.post(ctx, "/v1/admin/infer/promote", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InferRollback manually rolls the model's candidate back; mirrored
+// scoring stops.
+func (c *Client) InferRollback(ctx context.Context, model string) (*InferDeployment, error) {
+	body := map[string]any{"session": c.sessionID(), "model": model}
+	var out InferDeployment
+	if err := c.post(ctx, "/v1/admin/infer/rollback", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InferStatus reports every candidate deployment on the inference plane.
+func (c *Client) InferStatus(ctx context.Context) ([]InferDeployment, error) {
+	body := map[string]any{"session": c.sessionID()}
+	var out struct {
+		Deployments []InferDeployment `json:"deployments"`
+	}
+	if err := c.postIdem(ctx, "/v1/admin/infer/status", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Deployments, nil
+}
